@@ -1,0 +1,120 @@
+// Package repro's root bench harness: one testing.B target per table and
+// figure in the paper's evaluation. Each benchmark regenerates its
+// experiment and prints the rows/series the paper reports (once), and
+// publishes headline values as custom benchmark metrics.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks honor -short by dropping to the quick fidelity scale.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/sdam"
+)
+
+// printOnce ensures each experiment's table prints a single time even
+// though the benchmark body may run for several b.N iterations.
+var printOnce sync.Map
+
+func runExperiment(b *testing.B, id string) *sdam.Report {
+	b.Helper()
+	var rep *sdam.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = sdam.RunExperiment(id, testing.Short())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, done := printOnce.LoadOrStore(id, true); !done {
+		fmt.Println(rep.String())
+	}
+	for _, c := range rep.Failed() {
+		b.Errorf("shape check failed: %s (%s)", c.Claim, c.Got)
+	}
+	return rep
+}
+
+// BenchmarkFig1 regenerates the HBM throughput scaling curves (channels
+// linear, row-buffer utilization sub-linear).
+func BenchmarkFig1(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig2 regenerates the channel-conflict illustration for the
+// stride × mapping matrix.
+func BenchmarkFig2(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig3 regenerates the stride sweep under the default mapping
+// (the ~20x collapse) and the bit-flip distributions.
+func BenchmarkFig3(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4 regenerates the single-vs-per-pattern mapping comparison
+// on mixed-stride workloads.
+func BenchmarkFig4(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkTable1 regenerates the per-application variable statistics.
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFig11 regenerates the synthetic data-copy evaluation and the
+// CLP-utilization distribution.
+func BenchmarkFig11(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12a regenerates the CPU speedups on the standard
+// (SPEC2006/PARSEC proxy) benchmarks.
+func BenchmarkFig12a(b *testing.B) { runExperiment(b, "fig12a") }
+
+// BenchmarkFig12b regenerates the CPU speedups on the data-intensive
+// benchmarks.
+func BenchmarkFig12b(b *testing.B) { runExperiment(b, "fig12b") }
+
+// BenchmarkFig13 regenerates the profiling-time comparison between the
+// K-Means and DL-assisted selectors.
+func BenchmarkFig13(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14 regenerates the HBM-frequency and core-count
+// sensitivity sweeps.
+func BenchmarkFig14(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15 regenerates the near-memory accelerator speedups.
+func BenchmarkFig15(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkTable2 reports the DL training hyper-parameters.
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3 reports the hardware cost model (AMU switches, CMT
+// storage) standing in for the FPGA resource table.
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4 reports the system-software modification inventory.
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }
+
+// Ablation benches — the reproduction's extension experiments.
+
+// BenchmarkAblChunkSize regenerates the chunk-size trade-off analysis.
+func BenchmarkAblChunkSize(b *testing.B) { runExperiment(b, "abl-chunk") }
+
+// BenchmarkAblCMT regenerates the two-level-vs-flat CMT sweep.
+func BenchmarkAblCMT(b *testing.B) { runExperiment(b, "abl-cmt") }
+
+// BenchmarkAblClusters regenerates the cluster-budget sweep.
+func BenchmarkAblClusters(b *testing.B) { runExperiment(b, "abl-clusters") }
+
+// BenchmarkAblMSHR regenerates the memory-level-parallelism sweep.
+func BenchmarkAblMSHR(b *testing.B) { runExperiment(b, "abl-mshr") }
+
+// BenchmarkAblGuard regenerates the selection-guard on/off comparison.
+func BenchmarkAblGuard(b *testing.B) { runExperiment(b, "abl-guard") }
+
+// BenchmarkAblRowGuard regenerates the guard-row overhead table.
+func BenchmarkAblRowGuard(b *testing.B) { runExperiment(b, "abl-rowguard") }
+
+// BenchmarkAblCoRun regenerates the shared-CMT co-run sweep.
+func BenchmarkAblCoRun(b *testing.B) { runExperiment(b, "abl-corun") }
+
+// BenchmarkAblRefresh regenerates the refresh bandwidth-tax measurement.
+func BenchmarkAblRefresh(b *testing.B) { runExperiment(b, "abl-refresh") }

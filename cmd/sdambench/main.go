@@ -1,0 +1,96 @@
+// Command sdambench sweeps one benchmark (or a suite) across the paper's
+// six system configurations and prints the speedups over BS+DM — the
+// Fig 12/15 view for arbitrary parameter choices.
+//
+// Usage:
+//
+//	sdambench [-engine cpu|accel] [-cores n] [-clusters n] [-refs n] [-hbmdiv f] <benchmark>|standard|data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/sdam"
+)
+
+func main() {
+	engine := flag.String("engine", "cpu", "processing element: cpu or accel")
+	cores := flag.Int("cores", 4, "cores / accelerator units")
+	clusters := flag.Int("clusters", 32, "clusters for the ML/DL selectors")
+	refs := flag.Int("refs", 80_000, "per-run reference budget")
+	hbmdiv := flag.Float64("hbmdiv", 1, "HBM frequency divider (Fig 14)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sdambench [flags] <benchmark>|standard|data")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var eng sdam.EngineConfig
+	switch *engine {
+	case "cpu":
+		eng = sdam.CPUEngine(*cores)
+	case "accel":
+		eng = sdam.AcceleratorEngine(*cores)
+	default:
+		fmt.Fprintf(os.Stderr, "sdambench: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	var names []string
+	switch flag.Arg(0) {
+	case "standard":
+		names = sdam.ProxyNames()
+	case "data":
+		names = sdam.KernelNames()
+	default:
+		names = []string{flag.Arg(0)}
+	}
+
+	kinds := []sdam.Kind{sdam.BSDM, sdam.BSBSM, sdam.BSHM, sdam.SDMBSM, sdam.SDMBSMML, sdam.SDMBSMDL}
+	fmt.Printf("%-14s", "benchmark")
+	for _, k := range kinds[1:] {
+		fmt.Printf("  %12s", k)
+	}
+	fmt.Println()
+
+	for _, name := range names {
+		w, err := buildBench(name, *refs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
+			os.Exit(1)
+		}
+		base := sdam.Options{Engine: eng, Clusters: *clusters, HBMScale: *hbmdiv}
+		results, err := sdam.Compare(w, base, kinds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdambench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-14s", name)
+		for _, r := range results[1:] {
+			fmt.Printf("  %11.2fx", r.SpeedupOver(results[0]))
+		}
+		fmt.Println()
+	}
+}
+
+// buildBench resolves a benchmark name, additionally accepting
+// "trace:<path>" to replay a trace recorded with sdamprof -trace.
+func buildBench(name string, refs int) (sdam.Workload, error) {
+	if strings.HasPrefix(name, "trace:") {
+		f, err := os.Open(strings.TrimPrefix(name, "trace:"))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tr, err := sdam.LoadTrace(f)
+		if err != nil {
+			return nil, err
+		}
+		return tr.Workload(), nil
+	}
+	return sdam.NewWorkloadByName(name, refs)
+}

@@ -1,0 +1,99 @@
+// Command sdamsim regenerates the paper's tables and figures on the
+// simulated SDAM system.
+//
+// Usage:
+//
+//	sdamsim list                 # list available experiments
+//	sdamsim all [-quick]         # run every experiment
+//	sdamsim <id> [-quick]        # run one experiment (fig1…fig15, table1…table4)
+//
+// Each run prints the regenerated rows/series plus the paper's shape
+// claims evaluated against this run (PASS/FAIL).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/sdam"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: sdamsim [flags] list | all | <experiment-id>\n\npaper experiments:\n")
+	for _, r := range sdam.Experiments() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", r.ID, r.Desc)
+	}
+	fmt.Fprintf(os.Stderr, "\nablations (this reproduction's extensions):\n")
+	for _, r := range sdam.AblationExperiments() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", r.ID, r.Desc)
+	}
+	flag.PrintDefaults()
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "run at reduced fidelity (faster)")
+	csvDir := flag.String("csv", "", "also write each report's table as <dir>/<id>.csv")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	switch arg := flag.Arg(0); arg {
+	case "list":
+		for _, r := range sdam.Experiments() {
+			fmt.Printf("%-12s %s\n", r.ID, r.Desc)
+		}
+		for _, r := range sdam.AblationExperiments() {
+			fmt.Printf("%-12s %s\n", r.ID, r.Desc)
+		}
+	case "all":
+		failed := 0
+		for _, r := range append(sdam.Experiments(), sdam.AblationExperiments()...) {
+			rep, err := sdam.RunExperiment(r.ID, *quick)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sdamsim: %s: %v\n", r.ID, err)
+				failed++
+				continue
+			}
+			fmt.Println(rep.String())
+			failed += len(rep.Failed())
+			if err := writeCSV(*csvDir, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "sdamsim: %v\n", err)
+				failed++
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "sdamsim: %d failures\n", failed)
+			os.Exit(1)
+		}
+	default:
+		rep, err := sdam.RunExperiment(arg, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdamsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+		if err := writeCSV(*csvDir, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "sdamsim: %v\n", err)
+			os.Exit(1)
+		}
+		if len(rep.Failed()) > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// writeCSV stores the report's table under dir when dir is set.
+func writeCSV(dir string, rep *sdam.Report) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, rep.ID+".csv"), []byte(rep.CSV()), 0o644)
+}

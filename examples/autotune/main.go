@@ -1,0 +1,68 @@
+// Autotune: the full §6.2 pipeline, end to end, on one application —
+// profile it, cluster its major variables with both selectors (plain
+// K-Means on bit-flip-rate vectors and the DL-assisted K-Means on
+// learned LSTM embeddings), compare the selections, and measure the
+// resulting speedups.
+//
+// This is what "the machine picks your address mappings" looks like:
+// no access-pattern annotations anywhere in the workload code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/sdam"
+)
+
+func main() {
+	// The K-Means application is a good subject: its SoA coordinate
+	// planes produce large-stride gathers that the default mapping
+	// funnels into one channel, while its centroid array and assignment
+	// vector behave completely differently.
+	w := sdam.NewKMeans(sdam.KernelOptions{MaxRefs: 60_000})
+
+	// Step 1: offline profiling on the baseline system.
+	prof, deltas, err := sdam.ProfileWorkload(w, sdam.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %s: %d variables, %d external references\n",
+		prof.App, len(prof.Vars), prof.TotalRefs)
+	for _, v := range prof.Majors() {
+		fmt.Printf("  major %-18s refs=%-7d footprint %.1f MB\n",
+			v.Site, v.Refs, float64(v.Bytes)/(1<<20))
+	}
+
+	// Step 2a: the fast selector.
+	km, err := sdam.SelectKMeans(prof, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nK-Means selector: %d mappings in %v\n", km.MappingsUsed(), km.ProfilingTime)
+
+	// Step 2b: the slow, higher-quality selector (LSTM autoencoder with
+	// the joint reconstruction + clustering loss; scaled-down training).
+	dl, err := sdam.SelectDL(prof, deltas, 4, sdam.DLOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DL-assisted selector: %d mappings in %v (%.0fx the K-Means cost)\n",
+		dl.MappingsUsed(), dl.ProfilingTime,
+		float64(dl.ProfilingTime)/float64(km.ProfilingTime))
+
+	// Step 3: run the application under each configuration and compare.
+	kinds := []sdam.Kind{sdam.BSDM, sdam.SDMBSM, sdam.SDMBSMML, sdam.SDMBSMDL}
+	results, err := sdam.Compare(w, sdam.Options{Clusters: 4, Engine: sdam.AcceleratorEngine(4)}, kinds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\naccelerator runs:")
+	for i, r := range results {
+		speedup := 1.0
+		if i > 0 {
+			speedup = r.SpeedupOver(results[0])
+		}
+		fmt.Printf("  %-12s %10.0f ns  %.2fx\n", r.Config, r.Run.TimeNs, speedup)
+	}
+}

@@ -1,0 +1,71 @@
+// Quickstart: allocate two buffers — one under the boot-time default
+// address mapping, one under a stride-tuned software-defined mapping —
+// sweep both with the same strided access pattern, and watch the
+// channel-level parallelism change.
+//
+// This is the smallest end-to-end SDAM story: the same physical device,
+// the same access pattern, an order-of-magnitude difference in how many
+// HBM channels serve it, purely from the mapping the software selected
+// at allocation time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/sdam"
+)
+
+func main() {
+	m := sdam.NewMachine(sdam.MachineConfig{})
+	fmt.Println("machine:", m.Describe())
+
+	const (
+		bufBytes = 16 << 20
+		stride   = 2048 // bytes; 32 cache lines — the paper's worst case
+		accesses = 4096
+	)
+
+	// Buffer 1: the default mapping (mapping ID 0), as any malloc would
+	// give you today.
+	defaultBuf, err := m.Malloc(bufBytes, 0, "quickstart/default")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sweep(m, defaultBuf, stride, accesses, bufBytes)
+	st := m.Stats()
+	fmt.Printf("default mapping:  %2d/32 channels, CLP utilization %.2f, %.1f simulated GB/s\n",
+		st.ChannelsUsed, st.CLPUtilization, st.ThroughputGBs)
+
+	// Buffer 2: ask the kernel for a mapping tuned to this stride
+	// (add_addr_map + malloc with a mapping ID, §6.1 of the paper).
+	m.ResetStats()
+	mapID, err := m.AddStrideMapping(stride)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tunedBuf, err := m.Malloc(bufBytes, mapID, "quickstart/tuned")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sweep(m, tunedBuf, stride, accesses, bufBytes)
+	st2 := m.Stats()
+	fmt.Printf("tuned mapping:    %2d/32 channels, CLP utilization %.2f, %.1f simulated GB/s\n",
+		st2.ChannelsUsed, st2.CLPUtilization, st2.ThroughputGBs)
+
+	fmt.Printf("\nbandwidth gain from the software-defined mapping: %.1fx\n",
+		st2.ThroughputGBs/st.ThroughputGBs)
+	if err := m.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// sweep touches the buffer at the given byte stride, wrapping at the end.
+func sweep(m *sdam.Machine, base sdam.VA, stride, n, bufBytes int) {
+	for i := 0; i < n; i++ {
+		va := base + sdam.VA(i*stride%bufBytes)
+		if _, err := m.Touch(va); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

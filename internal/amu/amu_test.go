@@ -1,0 +1,111 @@
+package amu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/mapping"
+)
+
+func TestConfigRoundTripsThroughShuffle(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		s := mapping.MustShuffle(r.Perm(Width), "t")
+		cfg := ConfigFromShuffle(s)
+		if !cfg.Valid() {
+			t.Fatal("config from valid shuffle must be valid")
+		}
+		back, err := cfg.Shuffle("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range back.Perm() {
+			if p != s.Perm()[i] {
+				t.Fatalf("perm mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestConfigValidRejectsBadSettings(t *testing.T) {
+	c := Identity()
+	c[3] = c[4] // two columns select the same input
+	if c.Valid() {
+		t.Error("duplicate select accepted")
+	}
+	c = Identity()
+	c[0] = Width // out of range
+	if c.Valid() {
+		t.Error("out-of-range select accepted")
+	}
+}
+
+func TestTranslateMatchesMapping(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a := New(8)
+	s := mapping.MustShuffle(r.Perm(Width), "t")
+	cfg := ConfigFromShuffle(s)
+	f := func(raw uint64) bool {
+		l := geom.LineAddr(raw % geom.Default().TotalLines())
+		return a.Translate(cfg, l) == mapping.Map(s, l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranslateInvertRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a := New(1)
+	cfg := ConfigFromShuffle(mapping.MustShuffle(r.Perm(Width), "t"))
+	f := func(raw uint64) bool {
+		l := geom.LineAddr(raw % geom.Default().TotalLines())
+		return a.Invert(cfg, a.Translate(cfg, l)) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranslatePreservesChunk(t *testing.T) {
+	a := New(1)
+	cfg := ConfigFromShuffle(mapping.ForStride(16, geom.Default()))
+	for _, chunk := range []int{0, 1, 100, 4095} {
+		l := geom.Join(chunk, 0x1234)
+		if got := a.Translate(cfg, l).Chunk(); got != chunk {
+			t.Fatalf("chunk %d translated to %d", chunk, got)
+		}
+	}
+}
+
+func TestLookupsCounter(t *testing.T) {
+	a := New(1)
+	cfg := Identity()
+	for i := 0; i < 5; i++ {
+		a.Translate(cfg, geom.LineAddr(i))
+	}
+	if a.Lookups != 5 {
+		t.Fatalf("Lookups = %d, want 5", a.Lookups)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := New(8).Cost()
+	if c.SwitchesPerUnit != Width*Width {
+		t.Errorf("switches per unit = %d, want %d", c.SwitchesPerUnit, Width*Width)
+	}
+	if c.TotalSwitches != 8*Width*Width {
+		t.Errorf("total switches = %d", c.TotalSwitches)
+	}
+	if c.ConfigBits != 60 {
+		t.Errorf("config bits = %d, want 60 (paper §5.3)", c.ConfigBits)
+	}
+	if c.String() == "" {
+		t.Error("cost string empty")
+	}
+	if minimal := New(0); minimal.Cost().Replicas != 1 {
+		t.Error("replica clamp failed")
+	}
+}

@@ -1,0 +1,129 @@
+package apps
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// The kernels in this file extend the paper's workload set with two
+// classic address-mapping stress cases from dense linear algebra and
+// image processing. They are not part of the Fig 12/15 reproduction
+// sweeps, but they exercise code paths the paper's set leaves thin:
+// column-order traversal of row-major 2-D arrays (long sustained
+// single-channel funnels) and store-dominated traffic through the
+// posted-write path.
+
+// Transpose is an out-of-place matrix transpose B = Aᵀ over row-major
+// float32 matrices: reading A column by column walks a row-length
+// stride per element — the longest sustained channel funnel a fixed
+// interleave can suffer — while the B writes stream. Variables: a
+// (column-strided reads), b (streaming posted writes).
+type Transpose struct {
+	kernelBase
+	n int // matrix dimension; power of two, the worst case
+
+	a, b *array
+}
+
+// NewTranspose creates the kernel over an n×n float32 matrix with
+// n = 1024·Scale.
+func NewTranspose(opts Options) *Transpose {
+	o := opts.withDefaults()
+	return &Transpose{kernelBase: newKernelBase("transpose", o), n: 1024 * o.Scale}
+}
+
+// Setup implements workload.Workload.
+func (tr *Transpose) Setup(env *workload.Env) error {
+	var err error
+	if tr.a, err = tr.alloc(env, "a", uint64(tr.n*tr.n), 4); err != nil {
+		return err
+	}
+	if tr.b, err = tr.alloc(env, "b", uint64(tr.n*tr.n), 4); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Streams implements workload.Workload: threads take contiguous column
+// blocks (static scheduling). One touch covers a full cache line of
+// elements on the streaming side; the strided side touches a line per
+// element row, which is exactly why transposes hurt.
+func (tr *Transpose) Streams(seed int64) []cpu.Stream {
+	rec := newRecorder(tr.opts.Threads, tr.opts.MaxRefs)
+	elemsPerLine := int(lineElems(4))
+	block := (tr.n + tr.opts.Threads - 1) / tr.opts.Threads
+	for off := 0; off < block && !rec.full(); off++ {
+		for t := 0; t < tr.opts.Threads; t++ {
+			j := t*block + off
+			if j >= tr.n {
+				continue
+			}
+			// Column j of A: one line-granular read per row group; the
+			// matching B row fills line by line with posted stores.
+			for i := 0; i < tr.n && !rec.full(); i += elemsPerLine {
+				for k := 0; k < elemsPerLine; k++ {
+					rec.touch(t, tr.a, uint64((i+k)*tr.n+j)) // stride-n reads
+				}
+				rec.write(t, tr.b, uint64(j*tr.n+i)) // streaming store
+			}
+		}
+	}
+	_ = seed // the access pattern of a transpose is input-independent
+	return rec.streams()
+}
+
+// Stencil is a 5-point Jacobi sweep over a row-major 2-D grid: the
+// north/south neighbors sit a full row apart, so every point mixes unit
+// stride with a row-length stride. Variables: grid (mixed-stride reads),
+// out (streaming posted writes).
+type Stencil struct {
+	kernelBase
+	n int // grid dimension
+
+	grid, out *array
+}
+
+// NewStencil creates the kernel over an n×n float32 grid with
+// n = 2048·Scale.
+func NewStencil(opts Options) *Stencil {
+	o := opts.withDefaults()
+	return &Stencil{kernelBase: newKernelBase("stencil", o), n: 2048 * o.Scale}
+}
+
+// Setup implements workload.Workload.
+func (st *Stencil) Setup(env *workload.Env) error {
+	var err error
+	if st.grid, err = st.alloc(env, "grid", uint64(st.n*st.n), 4); err != nil {
+		return err
+	}
+	if st.out, err = st.alloc(env, "out", uint64(st.n*st.n), 4); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Streams implements workload.Workload: threads take contiguous row
+// blocks. East/west neighbors share the center's cache line, so the
+// external traffic per point is the center line plus the two row-stride
+// neighbors plus the output store.
+func (st *Stencil) Streams(seed int64) []cpu.Stream {
+	rec := newRecorder(st.opts.Threads, st.opts.MaxRefs)
+	elemsPerLine := int(lineElems(4))
+	block := (st.n - 2 + st.opts.Threads - 1) / st.opts.Threads
+	for off := 0; off < block && !rec.full(); off++ {
+		for t := 0; t < st.opts.Threads; t++ {
+			i := 1 + t*block + off
+			if i >= st.n-1 {
+				continue
+			}
+			for j := 0; j < st.n && !rec.full(); j += elemsPerLine {
+				rec.touch(t, st.grid, uint64(i*st.n+j))     // center line (covers E/W)
+				rec.touch(t, st.grid, uint64((i-1)*st.n+j)) // north, one row up
+				rec.touch(t, st.grid, uint64((i+1)*st.n+j)) // south, one row down
+				rec.write(t, st.out, uint64(i*st.n+j))      // result store
+			}
+		}
+	}
+	_ = seed // fixed sweep; stencils are input-independent
+	return rec.streams()
+}

@@ -1,0 +1,144 @@
+// Package cache models the last-level cache that filters CPU accesses
+// before they reach the memory controller. Only external accesses (LLC
+// misses) matter to SDAM, but modeling the filter matters for realistic
+// miss streams: it is why CPU workloads show smaller gains than
+// accelerators, which have little or no cache in front of memory
+// (paper §7.4, near-data acceleration discussion).
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Cache is a set-associative, physically-tagged cache with LRU
+// replacement at cache-line granularity. Not safe for concurrent use.
+type Cache struct {
+	sets       int
+	ways       int
+	tags       [][]geom.LineAddr
+	valid      [][]bool
+	dirty      [][]bool
+	stamps     [][]uint64
+	clock      uint64
+	hits       uint64
+	misses     uint64
+	writebacks uint64
+}
+
+// New creates a cache of the given total size and associativity.
+func New(sizeBytes, ways int) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cache: size %d / ways %d invalid", sizeBytes, ways)
+	}
+	lines := sizeBytes / geom.LineBytes
+	if lines%ways != 0 || lines/ways == 0 {
+		return nil, fmt.Errorf("cache: %d lines not divisible into %d ways", lines, ways)
+	}
+	sets := lines / ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	c := &Cache{sets: sets, ways: ways}
+	c.tags = make([][]geom.LineAddr, sets)
+	c.valid = make([][]bool, sets)
+	c.dirty = make([][]bool, sets)
+	c.stamps = make([][]uint64, sets)
+	for s := 0; s < sets; s++ {
+		c.tags[s] = make([]geom.LineAddr, ways)
+		c.valid[s] = make([]bool, ways)
+		c.dirty[s] = make([]bool, ways)
+		c.stamps[s] = make([]uint64, ways)
+	}
+	return c, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(sizeBytes, ways int) *Cache {
+	c, err := New(sizeBytes, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access looks up a line, filling it on miss, and reports whether it
+// hit.
+func (c *Cache) Access(line geom.LineAddr) bool {
+	hit, _, _ := c.AccessDirty(line, false)
+	return hit
+}
+
+// AccessDirty is Access with write-back modeling: dirty marks the line
+// modified on this access, and when a miss evicts a dirty line the
+// victim's address is returned with evicted=true so the caller can issue
+// the write-back to memory.
+func (c *Cache) AccessDirty(line geom.LineAddr, dirty bool) (hit bool, victim geom.LineAddr, evicted bool) {
+	c.clock++
+	set := int(uint64(line) % uint64(c.sets))
+	for w := 0; w < c.ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == line {
+			c.stamps[set][w] = c.clock
+			if dirty {
+				c.dirty[set][w] = true
+			}
+			c.hits++
+			return true, 0, false
+		}
+	}
+	c.misses++
+	// Fill into the invalid or least-recently-used way.
+	v := 0
+	best := c.stamps[set][0]
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[set][w] {
+			v = w
+			break
+		}
+		if c.stamps[set][w] < best {
+			v, best = w, c.stamps[set][w]
+		}
+	}
+	if c.valid[set][v] && c.dirty[set][v] {
+		victim, evicted = c.tags[set][v], true
+		c.writebacks++
+	}
+	c.tags[set][v] = line
+	c.valid[set][v] = true
+	c.dirty[set][v] = dirty
+	c.stamps[set][v] = c.clock
+	return false, victim, evicted
+}
+
+// Reset invalidates all lines and clears counters.
+func (c *Cache) Reset() {
+	for s := range c.valid {
+		for w := range c.valid[s] {
+			c.valid[s][w] = false
+			c.dirty[s][w] = false
+		}
+	}
+	c.clock, c.hits, c.misses, c.writebacks = 0, 0, 0, 0
+}
+
+// Writebacks returns how many dirty victims were evicted.
+func (c *Cache) Writebacks() uint64 { return c.writebacks }
+
+// Hits returns the hit count.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the miss count.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// HitRate returns hits/(hits+misses).
+func (c *Cache) HitRate() float64 {
+	t := c.hits + c.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(t)
+}
+
+// SizeBytes returns the cache capacity.
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * geom.LineBytes }

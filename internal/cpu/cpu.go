@@ -1,0 +1,385 @@
+// Package cpu models the processing elements that drive memory traffic:
+// out-of-order cores with a bounded miss window (MSHRs) and near-memory
+// accelerators with deep request pipelines. Both are "memory request
+// engines": they pull virtual-address streams from workloads, translate
+// through the process address space, filter through the shared LLC, and
+// issue external accesses to the memory controller, advancing a
+// simulated clock.
+//
+// The performance story the paper tells — SDAM speedups grow with
+// memory-level parallelism and shrink with cache effectiveness — falls
+// out of exactly these knobs: window depth, compute gap, and cache size
+// (§7.4: accelerators generate more concurrent accesses and have smaller
+// caches, hence benefit more).
+package cpu
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/geom"
+	"repro/internal/memctrl"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Stream produces one thread's virtual-address reference stream.
+type Stream interface {
+	// Next returns the next reference. ok=false ends the stream.
+	Next() (ref Ref, ok bool)
+}
+
+// SliceStream adapts a materialized reference list.
+type SliceStream struct {
+	Refs []Ref
+	pos  int
+}
+
+// Ref is one recorded reference.
+type Ref struct {
+	VA vm.VA
+	PC uint64
+	// Write marks a store. The engine treats stores as posted: they
+	// occupy memory bandwidth but never block the core — the write
+	// buffer a real core drains in the background.
+	Write bool
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Ref, bool) {
+	if s.pos >= len(s.Refs) {
+		return Ref{}, false
+	}
+	r := s.Refs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Config sizes one engine.
+type Config struct {
+	Name string
+	// Cores is the number of concurrent streams executed (extra streams
+	// beyond Cores are round-robined onto cores).
+	Cores int
+	// MSHRs bounds outstanding misses per core.
+	MSHRs int
+	// ComputeNs is the non-memory time between consecutive references of
+	// one stream (the compute gap that lets memory latency hide).
+	ComputeNs float64
+	// HitNs is the latency of a cache hit (either level).
+	HitNs float64
+	// L1Bytes and L1Ways size each core's private L1 filter; L1Bytes=0
+	// runs without private caches.
+	L1Bytes int
+	L1Ways  int
+	// CacheBytes and CacheWays size the shared last-level cache behind
+	// the L1s; CacheBytes=0 runs without one (the prototype has no LLC).
+	CacheBytes int
+	CacheWays  int
+	// WriteBack enables dirty-victim write-backs from the level closest
+	// to memory: stores mark lines dirty, and evicting a dirty line
+	// issues a posted write to the memory system. Off by default (the
+	// recorded evaluation numbers use write-through-style accounting).
+	WriteBack bool
+	// PrefetchNext issues this many sequential next-line prefetches on
+	// every demand miss (posted: they consume bandwidth and warm the
+	// caches but never stall the core). 0 disables.
+	PrefetchNext int
+}
+
+// CPUConfig returns the prototype's CPU-side parameters: 4 BOOM cores
+// with 64 KB L1 caches each (the prototype has no shared LLC, §7.1),
+// modeled as one 64 KB-per-core filter, a modest miss window, and a
+// per-reference compute gap.
+func CPUConfig(cores int) Config {
+	if cores <= 0 {
+		cores = 4
+	}
+	return Config{
+		Name:      fmt.Sprintf("boom-%dcore", cores),
+		Cores:     cores,
+		MSHRs:     8,
+		ComputeNs: 4,
+		HitNs:     3,
+		L1Bytes:   64 << 10,
+		L1Ways:    8,
+	}
+}
+
+// AcceleratorConfig returns the near-memory accelerator parameters: deep
+// pipelines (many outstanding requests), no cache, negligible compute
+// gap — the configuration that makes CLP utilization decisive.
+func AcceleratorConfig(units int) Config {
+	if units <= 0 {
+		units = 4
+	}
+	return Config{
+		Name:      fmt.Sprintf("nma-%dunit", units),
+		Cores:     units,
+		MSHRs:     64,
+		ComputeNs: 0.5,
+		HitNs:     0,
+	}
+}
+
+// Result reports one engine run.
+type Result struct {
+	TimeNs     float64
+	References uint64
+	External   uint64 // LLC misses issued to memory
+	Writes     uint64 // posted stores among the external accesses
+	Prefetches uint64 // next-line prefetches issued
+	CacheHits  uint64
+	Faults     uint64
+}
+
+// SpeedupOver returns other.TimeNs / r.TimeNs.
+func (r Result) SpeedupOver(other Result) float64 {
+	if r.TimeNs == 0 {
+		return 0
+	}
+	return other.TimeNs / r.TimeNs
+}
+
+// Engine executes streams against a memory system.
+type Engine struct {
+	cfg  Config
+	ctrl *memctrl.Controller
+	as   *vm.AddressSpace
+	l1   []*cache.Cache // private, one per core
+	llc  *cache.Cache   // shared
+	// Collector, when set, receives every external access — the
+	// profiling hook of §6.2.
+	Collector *trace.Collector
+}
+
+// New creates an engine. The caches are instantiated from the config.
+func New(cfg Config, ctrl *memctrl.Controller, as *vm.AddressSpace) *Engine {
+	e := &Engine{cfg: cfg, ctrl: ctrl, as: as}
+	if cfg.L1Bytes > 0 {
+		e.l1 = make([]*cache.Cache, cfg.Cores)
+		for i := range e.l1 {
+			e.l1[i] = cache.MustNew(cfg.L1Bytes, cfg.L1Ways)
+		}
+	}
+	if cfg.CacheBytes > 0 {
+		e.llc = cache.MustNew(cfg.CacheBytes, cfg.CacheWays)
+	}
+	return e
+}
+
+// lookupCaches walks the hierarchy for core c and reports whether the
+// line hit at any level (filling all levels on the way, the usual
+// inclusive-fill policy). With WriteBack enabled, the level closest to
+// memory tracks dirtiness and returns any dirty victim for the caller
+// to write back.
+func (e *Engine) lookupCaches(c int, line geom.LineAddr, write bool) (hit bool, victim geom.LineAddr, wb bool) {
+	dirty := write && e.cfg.WriteBack
+	if e.l1 != nil {
+		if e.llc == nil {
+			// L1 is the memory-side level.
+			h, v, evicted := e.l1[c].AccessDirty(line, dirty)
+			return h, v, evicted
+		}
+		if e.l1[c].Access(line) {
+			hit = true
+		}
+	}
+	if e.llc != nil {
+		h, v, evicted := e.llc.AccessDirty(line, dirty)
+		if h && !hit {
+			hit = true
+		}
+		victim, wb = v, evicted
+	}
+	return hit, victim, wb
+}
+
+// fillCaches inserts a prefetched line into core c's hierarchy without
+// counting it as a demand access outcome.
+func (e *Engine) fillCaches(c int, line geom.LineAddr) {
+	if e.l1 != nil {
+		e.l1[c].Access(line)
+	}
+	if e.llc != nil {
+		e.llc.Access(line)
+	}
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// coreState tracks one core's simulated progress.
+type coreState struct {
+	id          int
+	streams     []Stream
+	streamIdx   int
+	nextReady   float64   // earliest next issue
+	outstanding []float64 // completion times of in-flight misses
+	done        bool
+	lastFinish  float64
+}
+
+// coreHeap orders cores by next ready time for lockstep interleaving.
+type coreHeap []*coreState
+
+func (h coreHeap) Len() int            { return len(h) }
+func (h coreHeap) Less(i, j int) bool  { return h[i].nextReady < h[j].nextReady }
+func (h coreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x interface{}) { *h = append(*h, x.(*coreState)) }
+func (h *coreHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Proc binds one process's reference streams to its address space, so
+// several programs can co-run on one engine and memory system (the
+// paper's co-run scenario, §3 experiment 2 and §6.2's CMT budget
+// sharing).
+type Proc struct {
+	AS      *vm.AddressSpace
+	Streams []Stream
+}
+
+// Run executes the streams to completion against the engine's own
+// address space and returns the result.
+func (e *Engine) Run(streams []Stream) (Result, error) {
+	return e.RunProcs([]Proc{{AS: e.as, Streams: streams}})
+}
+
+// RunProcs co-runs several processes: their streams are distributed
+// round-robin over the configured cores, each stream translating through
+// its owner's address space. Cores interleave in global time order so
+// the shared memory system sees a causally ordered request stream.
+func (e *Engine) RunProcs(procs []Proc) (Result, error) {
+	var res Result
+	var streams []Stream
+	owner := map[Stream]*vm.AddressSpace{}
+	for _, p := range procs {
+		as := p.AS
+		if as == nil {
+			as = e.as
+		}
+		for _, s := range p.Streams {
+			streams = append(streams, s)
+			owner[s] = as
+		}
+	}
+	if len(streams) == 0 {
+		return res, nil
+	}
+	cores := make([]*coreState, e.cfg.Cores)
+	for i := range cores {
+		cores[i] = &coreState{id: i}
+	}
+	for i, s := range streams {
+		c := cores[i%len(cores)]
+		c.streams = append(c.streams, s)
+	}
+	h := &coreHeap{}
+	for _, c := range cores {
+		if len(c.streams) > 0 {
+			heap.Push(h, c)
+		}
+	}
+	spaces := map[*vm.AddressSpace]uint64{}
+	for _, as := range owner {
+		spaces[as] = as.Faults()
+	}
+
+	for h.Len() > 0 {
+		c := heap.Pop(h).(*coreState)
+		cur := c.streams[c.streamIdx]
+		ref, ok := cur.Next()
+		if !ok {
+			c.streamIdx++
+			if c.streamIdx >= len(c.streams) {
+				if c.lastFinish > res.TimeNs {
+					res.TimeNs = c.lastFinish
+				}
+				continue
+			}
+			heap.Push(h, c)
+			continue
+		}
+		res.References++
+		line, err := owner[cur].TranslateLine(ref.VA)
+		if err != nil {
+			return res, fmt.Errorf("cpu: core %d: %w", c.id, err)
+		}
+		issue := c.nextReady
+		hit, wbVictim, wb := e.lookupCaches(c.id, line, ref.Write)
+		if wb {
+			// Dirty eviction: a posted write-back to memory.
+			if _, err := e.ctrl.Access(issue, wbVictim); err != nil {
+				return res, fmt.Errorf("cpu: core %d write-back: %w", c.id, err)
+			}
+			res.External++
+			res.Writes++
+		}
+		if hit {
+			res.CacheHits++
+			c.nextReady = issue + e.cfg.HitNs + e.cfg.ComputeNs
+			if c.nextReady > c.lastFinish {
+				c.lastFinish = c.nextReady
+			}
+			heap.Push(h, c)
+			continue
+		}
+		// External access. Loads block on a free MSHR slot; stores are
+		// posted through the write buffer and never stall the core,
+		// though their bandwidth still contends at the device.
+		if !ref.Write && len(c.outstanding) >= e.cfg.MSHRs {
+			earliest := 0
+			for i, t := range c.outstanding {
+				if t < c.outstanding[earliest] {
+					earliest = i
+				}
+			}
+			if c.outstanding[earliest] > issue {
+				issue = c.outstanding[earliest]
+			}
+			c.outstanding = append(c.outstanding[:earliest], c.outstanding[earliest+1:]...)
+		}
+		done, err := e.ctrl.Access(issue, line)
+		if err != nil {
+			return res, fmt.Errorf("cpu: core %d: %w", c.id, err)
+		}
+		res.External++
+		if ref.Write {
+			res.Writes++
+		}
+		if e.Collector != nil {
+			e.Collector.Record(trace.Access{Time: issue, PC: ref.PC, VA: ref.VA, PA: line})
+		}
+		if !ref.Write {
+			c.outstanding = append(c.outstanding, done)
+		}
+		if done > c.lastFinish {
+			c.lastFinish = done
+		}
+		// Next-line prefetches: posted fills launched alongside the miss.
+		for k := 1; k <= e.cfg.PrefetchNext; k++ {
+			pline := line + geom.LineAddr(k)
+			e.fillCaches(c.id, pline)
+			pdone, err := e.ctrl.Access(issue, pline)
+			if err != nil {
+				break // off the end of physical memory: stop prefetching
+			}
+			res.Prefetches++
+			if pdone > c.lastFinish {
+				c.lastFinish = pdone
+			}
+		}
+		c.nextReady = issue + e.cfg.ComputeNs
+		heap.Push(h, c)
+	}
+	for as, before := range spaces {
+		res.Faults += as.Faults() - before
+	}
+	return res, nil
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// runQuick executes an experiment at Quick scale and fails the test on
+// runner errors or violated shape checks.
+func runQuick(t *testing.T, id string) *Report {
+	t.Helper()
+	r, ok := ByID(id)
+	if !ok {
+		t.Fatalf("no experiment %q", id)
+	}
+	rep, err := r.Run(Quick)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	for _, c := range rep.Failed() {
+		t.Errorf("%s check failed: %s (%s)", id, c.Claim, c.Got)
+	}
+	if rep.String() == "" || !strings.Contains(rep.String(), rep.ID) {
+		t.Fatalf("%s: empty report", id)
+	}
+	return rep
+}
+
+func TestAllRunnersRegistered(t *testing.T) {
+	ids := map[string]bool{}
+	for _, r := range All() {
+		if ids[r.ID] {
+			t.Fatalf("duplicate id %s", r.ID)
+		}
+		ids[r.ID] = true
+		if r.Desc == "" || r.Run == nil {
+			t.Fatalf("incomplete runner %s", r.ID)
+		}
+	}
+	for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "table1", "fig11", "fig12a", "fig12b", "fig13", "fig14", "fig15", "table2", "table3", "table4"} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+	if _, ok := ByID("nonesuch"); ok {
+		t.Fatal("bogus id resolved")
+	}
+}
+
+func TestFig1(t *testing.T)   { runQuick(t, "fig1") }
+func TestFig2(t *testing.T)   { runQuick(t, "fig2") }
+func TestFig3(t *testing.T)   { runQuick(t, "fig3") }
+func TestFig4(t *testing.T)   { runQuick(t, "fig4") }
+func TestTable1(t *testing.T) { runQuick(t, "table1") }
+func TestFig11(t *testing.T)  { runQuick(t, "fig11") }
+
+func TestFig12a(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup sweep in long mode only")
+	}
+	runQuick(t, "fig12a")
+}
+
+func TestFig12b(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup sweep in long mode only")
+	}
+	runQuick(t, "fig12b")
+}
+
+func TestFig13(t *testing.T) { runQuick(t, "fig13") }
+
+func TestFig14(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep in long mode only")
+	}
+	runQuick(t, "fig14")
+}
+
+func TestFig15(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup sweep in long mode only")
+	}
+	runQuick(t, "fig15")
+}
+
+func TestTable2(t *testing.T) { runQuick(t, "table2") }
+func TestTable3(t *testing.T) { runQuick(t, "table3") }
+func TestTable4(t *testing.T) { runQuick(t, "table4") }
+
+func TestReportCheckPlumbing(t *testing.T) {
+	r := &Report{ID: "x", Title: "t"}
+	r.AddCheck("ok", true, "1")
+	r.AddCheck("bad", false, "2")
+	if len(r.Failed()) != 1 || r.Failed()[0].Claim != "bad" {
+		t.Fatalf("Failed() = %+v", r.Failed())
+	}
+	s := r.String()
+	if !strings.Contains(s, "PASS") || !strings.Contains(s, "FAIL") {
+		t.Fatalf("render: %s", s)
+	}
+}
+
+func TestAblationsRegistered(t *testing.T) {
+	if len(Ablations()) != 8 {
+		t.Fatalf("ablations = %d", len(Ablations()))
+	}
+	for _, r := range Ablations() {
+		if _, ok := ByID(r.ID); !ok {
+			t.Fatalf("%s not resolvable", r.ID)
+		}
+	}
+}
+
+func TestAblChunk(t *testing.T)    { runQuick(t, "abl-chunk") }
+func TestAblCMT(t *testing.T)      { runQuick(t, "abl-cmt") }
+func TestAblRowGuard(t *testing.T) { runQuick(t, "abl-rowguard") }
+func TestAblRefresh(t *testing.T)  { runQuick(t, "abl-refresh") }
+
+func TestAblClusters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system sweep in long mode only")
+	}
+	runQuick(t, "abl-clusters")
+}
+
+func TestAblMSHR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system sweep in long mode only")
+	}
+	runQuick(t, "abl-mshr")
+}
+
+func TestAblGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system sweep in long mode only")
+	}
+	runQuick(t, "abl-guard")
+}
+
+func TestAblCoRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("system sweep in long mode only")
+	}
+	runQuick(t, "abl-corun")
+}

@@ -1,0 +1,155 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGeometryIsConsistent(t *testing.T) {
+	g := Default()
+	if err := g.Check(); err != nil {
+		t.Fatalf("default geometry invalid: %v", err)
+	}
+	if got := g.TotalBytes(); got != 8<<30 {
+		t.Errorf("TotalBytes = %d, want %d", got, uint64(8)<<30)
+	}
+	if got := g.Chunks(); got != 4096 {
+		t.Errorf("Chunks = %d, want 4096 (paper §4)", got)
+	}
+	if got := g.LinesPerRow(); got != 4 {
+		t.Errorf("LinesPerRow = %d, want 4", got)
+	}
+}
+
+func TestGeometryCheckRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Geometry
+	}{
+		{"non-power-of-two channels", Geometry{Channels: 3, Banks: 16, Rows: 1 << 16, RowBytes: 256, CapacityGiB: 8}},
+		{"zero banks", Geometry{Channels: 32, Banks: 0, Rows: 1 << 16, RowBytes: 256, CapacityGiB: 8}},
+		{"row smaller than line", Geometry{Channels: 32, Banks: 16, Rows: 1 << 16, RowBytes: 32, CapacityGiB: 8}},
+		{"capacity mismatch", Geometry{Channels: 32, Banks: 16, Rows: 1 << 16, RowBytes: 256, CapacityGiB: 16}},
+	}
+	for _, c := range cases {
+		if err := c.g.Check(); err == nil {
+			t.Errorf("%s: Check accepted invalid geometry", c.name)
+		}
+	}
+}
+
+func TestOffsetBitsIsFifteen(t *testing.T) {
+	// The paper's AMU crossbar is 15 bits wide (2 MB chunk / 64 B line).
+	if OffsetBits != 15 {
+		t.Fatalf("OffsetBits = %d, want 15", OffsetBits)
+	}
+}
+
+func TestLineAddrRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		l := LineAddr(raw % (Default().TotalLines()))
+		return Join(l.Chunk(), l.Offset()) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPAConversions(t *testing.T) {
+	l := PA(0x12345678)
+	if l != LineAddr(0x12345678>>6) {
+		t.Fatalf("PA conversion wrong: %#x", l)
+	}
+	if l.Byte() != 0x12345678&^uint64(63) {
+		t.Fatalf("Byte conversion wrong: %#x", l.Byte())
+	}
+}
+
+func TestDecodeFieldRanges(t *testing.T) {
+	g := Default()
+	f := func(raw uint64) bool {
+		l := LineAddr(raw % g.TotalLines())
+		ha := g.Decode(l)
+		return ha.Channel >= 0 && ha.Channel < g.Channels &&
+			ha.Bank >= 0 && ha.Bank < g.Banks &&
+			ha.Row >= 0 && ha.Row < g.Rows &&
+			ha.Column >= 0 && ha.Column < g.LinesPerRow()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeIsInjectivePerChunk(t *testing.T) {
+	// Within one chunk, distinct lines must decode to distinct HAs.
+	g := Default()
+	seen := make(map[HardwareAddress]LineAddr, LinesPerChunk)
+	for off := uint32(0); off < LinesPerChunk; off++ {
+		l := Join(7, off)
+		ha := g.Decode(l)
+		if prev, dup := seen[ha]; dup {
+			t.Fatalf("lines %#x and %#x decode to same HA %v", prev, l, ha)
+		}
+		seen[ha] = l
+	}
+}
+
+func TestDecodeStreamingUsesAllChannels(t *testing.T) {
+	// Consecutive lines must land on consecutive channels (the default
+	// channel-interleaved layout).
+	g := Default()
+	for i := 0; i < g.Channels; i++ {
+		ha := g.Decode(LineAddr(i))
+		if ha.Channel != i {
+			t.Fatalf("line %d decoded to channel %d, want %d", i, ha.Channel, i)
+		}
+	}
+}
+
+func TestFieldBitsSumToOffset(t *testing.T) {
+	b := Default().Bits()
+	ch, col, bank, row := b.OffsetFields()
+	if ch+col+bank+row != OffsetBits {
+		t.Fatalf("offset fields %d+%d+%d+%d != %d", ch, col, bank, row, OffsetBits)
+	}
+	if ch != 5 || col != 2 || bank != 4 || row != 4 {
+		t.Fatalf("unexpected field split: ch=%d col=%d bank=%d row=%d", ch, col, bank, row)
+	}
+}
+
+func TestHardwareAddressString(t *testing.T) {
+	ha := HardwareAddress{Channel: 3, Bank: 2, Row: 255, Column: 1}
+	if got := ha.String(); got != "ch3/b2/r0xff/c1" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestHMCGeometryIsConsistent(t *testing.T) {
+	g := HMC()
+	if err := g.Check(); err != nil {
+		t.Fatalf("HMC geometry invalid: %v", err)
+	}
+	if g.Channels != 32 || g.Banks != 8 {
+		t.Fatalf("HMC shape: %+v", g)
+	}
+	b := g.Bits()
+	ch, col, bank, row := b.OffsetFields()
+	if ch+col+bank+row != OffsetBits {
+		t.Fatalf("HMC offset fields %d+%d+%d+%d != %d", ch, col, bank, row, OffsetBits)
+	}
+}
+
+func TestDecodeBankSwizzleIsRowDependent(t *testing.T) {
+	// Two lines with equal offsets in different chunks must land in
+	// different banks (the permutation-based interleaving that separates
+	// equal-phase streams).
+	g := Default()
+	a := g.Decode(Join(0, 0x200))
+	b := g.Decode(Join(1, 0x200))
+	if a.Channel != b.Channel {
+		t.Fatal("chunk number leaked into channel")
+	}
+	if a.Bank == b.Bank {
+		t.Fatal("bank swizzle did not separate adjacent chunks")
+	}
+}

@@ -1,0 +1,291 @@
+// Package hbm is an event-driven timing model of an HBM2 device: the
+// independent channels, per-channel banks with open-row buffers, and the
+// DRAM timing constraints (precharge, activate, CAS, burst) that make
+// channel-level parallelism the dominant bandwidth lever (paper §2.1).
+//
+// The model is deliberately at the level of detail the paper's claims
+// live at: requests to different channels proceed fully in parallel,
+// requests inside one channel serialize on the channel data bus, bank
+// activations overlap with other banks' transfers (BLP), and row-buffer
+// hits skip the activate cycle (RLP). Refresh and command-bus contention
+// are omitted; they rescale absolute bandwidth without changing the
+// relative shapes the evaluation reports.
+package hbm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Timing holds the DRAM timing parameters in nanoseconds.
+type Timing struct {
+	TRP    float64 // row precharge
+	TRCD   float64 // row activate (RAS-to-CAS)
+	TCL    float64 // CAS latency
+	TBurst float64 // data-bus occupancy of one 64 B line transfer
+	TFront float64 // controller/PHY front-end latency added per access
+
+	// TREFI/TRFC enable refresh modeling: every TREFI nanoseconds each
+	// channel stalls for TRFC and loses its open rows. TREFI = 0
+	// disables refresh (the default — it costs a uniform ~TRFC/TREFI of
+	// bandwidth across every configuration and so never changes the
+	// comparisons; enable it for absolute-bandwidth studies).
+	TREFI float64
+	TRFC  float64
+}
+
+// WithRefresh returns the timing with DDR4/HBM2-class refresh enabled
+// (3.9 µs interval, 260 ns refresh cycle).
+func (t Timing) WithRefresh() Timing {
+	t.TREFI = 3900
+	t.TRFC = 260
+	return t
+}
+
+// DefaultTiming returns HBM2-class timings: ~14 ns core latencies, an
+// 8 ns burst per 64 B line per channel (≈8 GB/s/channel; 32 channels
+// ≈256 GB/s peak), and an 80 ns controller/PHY front end. The unloaded
+// miss latency lands at ≈130 ns, matching the paper's ">130 ns HBM
+// access latency" against which the 6 ns CMT lookup is negligible.
+func DefaultTiming() Timing {
+	return Timing{TRP: 14, TRCD: 14, TCL: 14, TBurst: 8, TFront: 80}
+}
+
+// Scale returns the timing slowed by factor f (f=2 halves the memory
+// frequency). Used by the Fig 14 frequency sweep.
+func (t Timing) Scale(f float64) Timing {
+	return Timing{TRP: t.TRP * f, TRCD: t.TRCD * f, TCL: t.TCL * f, TBurst: t.TBurst * f, TFront: t.TFront * f}
+}
+
+// MissLatency is the unloaded latency of a row-buffer miss.
+func (t Timing) MissLatency() float64 { return t.TFront + t.TRP + t.TRCD + t.TCL + t.TBurst }
+
+// Device simulates one HBM stack pair. It is not safe for concurrent
+// use; the memory controller serializes request issue, as the real
+// controller's front end does.
+type Device struct {
+	geom   geom.Geometry
+	timing Timing
+
+	busFree     []float64   // per-channel data-bus availability
+	bankBusy    [][]float64 // per-channel, per-bank: last transfer completion
+	colReady    [][]float64 // per-channel, per-bank: earliest next column command
+	openRow     [][]int     // per-channel, per-bank open row (-1 = closed)
+	nextRefresh []float64   // per-channel: next refresh deadline (TREFI > 0)
+
+	stats Stats
+}
+
+// Stats aggregates device activity since the last Reset.
+type Stats struct {
+	Requests  uint64
+	Bytes     uint64
+	RowHits   uint64
+	RowMisses uint64
+	Refreshes uint64
+	// LastFinish is the completion time of the latest-finishing request
+	// (the makespan when requests start at t=0).
+	LastFinish float64
+	// ChannelBytes and ChannelBusy record per-channel load for CLP
+	// utilization reports.
+	ChannelBytes []uint64
+	ChannelBusy  []float64
+}
+
+// New creates a device with the given geometry and timing.
+func New(g geom.Geometry, t Timing) *Device {
+	if err := g.Check(); err != nil {
+		panic("hbm: " + err.Error())
+	}
+	d := &Device{geom: g, timing: t}
+	d.Reset()
+	return d
+}
+
+// Geometry returns the device geometry.
+func (d *Device) Geometry() geom.Geometry { return d.geom }
+
+// Timing returns the device timing.
+func (d *Device) Timing() Timing { return d.timing }
+
+// Reset clears all bank state and statistics.
+func (d *Device) Reset() {
+	g := d.geom
+	d.busFree = make([]float64, g.Channels)
+	d.bankBusy = make([][]float64, g.Channels)
+	d.colReady = make([][]float64, g.Channels)
+	d.openRow = make([][]int, g.Channels)
+	d.nextRefresh = make([]float64, g.Channels)
+	for c := range d.nextRefresh {
+		d.nextRefresh[c] = d.timing.TREFI
+	}
+	for c := 0; c < g.Channels; c++ {
+		d.bankBusy[c] = make([]float64, g.Banks)
+		d.colReady[c] = make([]float64, g.Banks)
+		d.openRow[c] = make([]int, g.Banks)
+		for b := range d.openRow[c] {
+			d.openRow[c][b] = -1
+		}
+	}
+	d.stats = Stats{
+		ChannelBytes: make([]uint64, g.Channels),
+		ChannelBusy:  make([]float64, g.Channels),
+	}
+}
+
+// Access issues one 64 B line access to hardware address ha arriving at
+// time `at` (ns) and returns its completion time. Open-page policy:
+// the accessed row stays open.
+func (d *Device) Access(at float64, ha geom.HardwareAddress) float64 {
+	ch, bank := ha.Channel, ha.Bank
+	t := &d.timing
+	at += t.TFront // request traverses the controller front end
+
+	// Refresh: when the request would start past the channel's refresh
+	// deadline, the channel first stalls for TRFC and loses its open
+	// rows. Catch up on any deadlines that passed while idle.
+	if t.TREFI > 0 {
+		for at >= d.nextRefresh[ch] || d.busFree[ch] >= d.nextRefresh[ch] {
+			end := d.nextRefresh[ch] + t.TRFC
+			if d.busFree[ch] < end {
+				d.busFree[ch] = end
+			}
+			for b := range d.openRow[ch] {
+				d.openRow[ch][b] = -1
+				if d.bankBusy[ch][b] < end {
+					d.bankBusy[ch][b] = end
+				}
+				if d.colReady[ch][b] < end {
+					d.colReady[ch][b] = end
+				}
+			}
+			d.nextRefresh[ch] += t.TREFI
+			d.stats.Refreshes++
+		}
+	}
+
+	var colIssue float64
+	if d.openRow[ch][bank] != ha.Row {
+		// Row miss: the activate waits for the bank's outstanding
+		// transfer, precharges the old row (if any), then opens the new
+		// one. Activations in other banks of the same channel overlap
+		// freely — that is bank-level parallelism.
+		actStart := math.Max(at, d.bankBusy[ch][bank])
+		if d.openRow[ch][bank] >= 0 {
+			actStart += t.TRP
+		}
+		colIssue = actStart + t.TRCD
+		d.openRow[ch][bank] = ha.Row
+		d.stats.RowMisses++
+	} else {
+		// Row hit: column commands to an open row pipeline at the
+		// column-to-column cadence (≈ one burst), so CAS latency adds
+		// delay but not serialization.
+		colIssue = math.Max(at, d.colReady[ch][bank])
+		d.stats.RowHits++
+	}
+	dataStart := math.Max(colIssue+t.TCL, d.busFree[ch])
+	finish := dataStart + t.TBurst
+
+	d.busFree[ch] = finish
+	d.bankBusy[ch][bank] = finish
+	d.colReady[ch][bank] = dataStart - t.TCL + t.TBurst
+
+	d.stats.Requests++
+	d.stats.Bytes += geom.LineBytes
+	d.stats.ChannelBytes[ch] += geom.LineBytes
+	d.stats.ChannelBusy[ch] += t.TBurst
+	if finish > d.stats.LastFinish {
+		d.stats.LastFinish = finish
+	}
+	return finish
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Device) Stats() Stats {
+	s := d.stats
+	s.ChannelBytes = append([]uint64(nil), d.stats.ChannelBytes...)
+	s.ChannelBusy = append([]float64(nil), d.stats.ChannelBusy...)
+	return s
+}
+
+// ThroughputGBs returns the achieved bandwidth in GB/s assuming the
+// request stream started at t=0.
+func (s Stats) ThroughputGBs() float64 {
+	if s.LastFinish <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) / s.LastFinish // bytes/ns == GB/s
+}
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (s Stats) RowHitRate() float64 {
+	total := s.RowHits + s.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// ChannelsUsed counts channels that served at least one request.
+func (s Stats) ChannelsUsed() int {
+	n := 0
+	for _, b := range s.ChannelBytes {
+		if b > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// CLPUtilization measures how evenly load spread across channels: the
+// achieved bandwidth divided by the bandwidth the busiest channel's load
+// would allow if every channel carried that much. 1.0 means perfectly
+// balanced use of all channels; 1/N means a single hot channel.
+func (s Stats) CLPUtilization() float64 {
+	if len(s.ChannelBytes) == 0 || s.Bytes == 0 {
+		return 0
+	}
+	var max uint64
+	for _, b := range s.ChannelBytes {
+		if b > max {
+			max = b
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return float64(s.Bytes) / (float64(max) * float64(len(s.ChannelBytes)))
+}
+
+// PeakGBs returns the theoretical peak bandwidth of the device: every
+// channel streaming back-to-back bursts.
+func (d *Device) PeakGBs() float64 {
+	return float64(d.geom.Channels) * geom.LineBytes / d.timing.TBurst
+}
+
+// CheckConservation verifies the accounting invariants (DESIGN.md §7.7):
+// served bytes equal requests×line size and no channel was busy longer
+// than the makespan.
+func (d *Device) CheckConservation() error {
+	s := d.stats
+	if s.Bytes != s.Requests*geom.LineBytes {
+		return fmt.Errorf("hbm: %d bytes served for %d requests", s.Bytes, s.Requests)
+	}
+	var sum uint64
+	for c, b := range s.ChannelBytes {
+		sum += b
+		if s.ChannelBusy[c] > s.LastFinish+1e-9 {
+			return fmt.Errorf("hbm: channel %d busy %.1f ns > makespan %.1f ns", c, s.ChannelBusy[c], s.LastFinish)
+		}
+	}
+	if sum != s.Bytes {
+		return fmt.Errorf("hbm: per-channel bytes %d != total %d", sum, s.Bytes)
+	}
+	if s.RowHits+s.RowMisses != s.Requests {
+		return fmt.Errorf("hbm: hits+misses %d != requests %d", s.RowHits+s.RowMisses, s.Requests)
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding
+// (paper §6.2, Eq. 2). It operates on plain float vectors so the same
+// code clusters 15-dimensional bit-flip-rate vectors (the classic SDAM
+// selector) and 256-dimensional learned embeddings (the DL-assisted
+// selector).
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Result holds a clustering outcome.
+type Result struct {
+	Centroids  [][]float64
+	Assignment []int // index of the centroid owning each input point
+	Loss       float64
+	Iterations int
+}
+
+// Options tunes the algorithm. Zero values select sensible defaults.
+type Options struct {
+	MaxIterations int     // default 100
+	Tolerance     float64 // relative loss improvement to keep going; default 1e-6
+	Seed          int64   // RNG seed for k-means++; default 1
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 100
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-6
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Cluster partitions points into k clusters minimizing the within-cluster
+// sum of squared distances (Eq. 2's L_cluster).
+func Cluster(points [][]float64, k int, opts Options) (Result, error) {
+	if len(points) == 0 {
+		return Result{}, fmt.Errorf("kmeans: no points")
+	}
+	if k <= 0 {
+		return Result{}, fmt.Errorf("kmeans: k = %d", k)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return Result{}, fmt.Errorf("kmeans: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	opts = opts.withDefaults()
+	r := rand.New(rand.NewSource(opts.Seed))
+
+	centroids := seedPlusPlus(points, k, r)
+	assign := make([]int, len(points))
+	prevLoss := math.Inf(1)
+	var loss float64
+	var iter int
+	for iter = 1; iter <= opts.MaxIterations; iter++ {
+		loss = 0
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := dist2(p, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+			loss += bestD
+		}
+		// Update step.
+		counts := make([]int, k)
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d, x := range p {
+				next[c][d] += x
+			}
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from
+				// its centroid to avoid dead centroids.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := dist2(p, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(next[c], points[far])
+				continue
+			}
+			for d := range next[c] {
+				next[c][d] /= float64(counts[c])
+			}
+		}
+		centroids = next
+		if prevLoss-loss <= opts.Tolerance*math.Max(prevLoss, 1) {
+			break
+		}
+		prevLoss = loss
+	}
+	// Final assignment pass so the returned assignment and loss reflect
+	// the returned (post-update) centroids.
+	loss = 0
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c, cent := range centroids {
+			if d := dist2(p, cent); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+		loss += bestD
+	}
+	return Result{Centroids: centroids, Assignment: assign, Loss: loss, Iterations: iter}, nil
+}
+
+// seedPlusPlus picks initial centroids with k-means++ weighting.
+func seedPlusPlus(points [][]float64, k int, r *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, clone(points[r.Intn(len(points))]))
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var sum float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := dist2(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			sum += best
+		}
+		if sum == 0 {
+			// All points coincide with centroids; duplicate any point.
+			centroids = append(centroids, clone(points[r.Intn(len(points))]))
+			continue
+		}
+		target := r.Float64() * sum
+		var acc float64
+		pick := len(points) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, clone(points[pick]))
+	}
+	return centroids
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func clone(p []float64) []float64 { return append([]float64(nil), p...) }
+
+// AssignLoss computes the clustering loss of an assignment against
+// centroids — the quantity the DL pipeline's joint objective adds to the
+// reconstruction loss.
+func AssignLoss(points [][]float64, centroids [][]float64, assign []int) float64 {
+	var loss float64
+	for i, p := range points {
+		loss += dist2(p, centroids[assign[i]])
+	}
+	return loss
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering —
+// the standard [-1, 1] quality score comparing each point's cohesion to
+// its separation. Single-member clusters contribute zero.
+func Silhouette(points [][]float64, assign []int, k int) float64 {
+	if len(points) < 2 || k < 2 {
+		return 0
+	}
+	var total float64
+	for i, p := range points {
+		var aSum, aN float64
+		bBest := math.Inf(1)
+		for c := 0; c < k; c++ {
+			var sum float64
+			var n float64
+			for j, q := range points {
+				if assign[j] != c || i == j {
+					continue
+				}
+				sum += math.Sqrt(dist2(p, q))
+				n++
+			}
+			if c == assign[i] {
+				aSum, aN = sum, n
+				continue
+			}
+			if n > 0 && sum/n < bBest {
+				bBest = sum / n
+			}
+		}
+		if aN == 0 || math.IsInf(bBest, 1) {
+			continue // singleton or no other cluster: neutral
+		}
+		a := aSum / aN
+		s := (bBest - a) / math.Max(a, bBest)
+		total += s
+	}
+	return total / float64(len(points))
+}
+
+// ChooseK clusters at every k in [2, maxK] and returns the clustering
+// with the best silhouette — the "judicious K" selection the paper
+// leaves to the operator (§6.2's quality-time trade-off). Falls back to
+// k=1 when maxK < 2 or every silhouette is non-positive.
+func ChooseK(points [][]float64, maxK int, opts Options) (Result, int, error) {
+	if maxK > len(points) {
+		maxK = len(points)
+	}
+	if maxK < 2 {
+		res, err := Cluster(points, 1, opts)
+		return res, 1, err
+	}
+	bestRes, bestK, bestScore := Result{}, 1, 0.0
+	for k := 2; k <= maxK; k++ {
+		res, err := Cluster(points, k, opts)
+		if err != nil {
+			return Result{}, 0, err
+		}
+		if s := Silhouette(points, res.Assignment, k); s > bestScore {
+			bestRes, bestK, bestScore = res, k, s
+		}
+	}
+	if bestK == 1 {
+		res, err := Cluster(points, 1, opts)
+		return res, 1, err
+	}
+	return bestRes, bestK, nil
+}

@@ -1,0 +1,374 @@
+// Package mapping implements the PA→HA address-mapping functions studied
+// in the paper: the boot-time default (channel-interleaved) mapping, the
+// bit-shuffle mapping realizable by the AMU crossbar, and the XOR-hash
+// mapping used by the BS+HM baseline (Liu et al., ISCA'18 style).
+//
+// A Mapping transforms the 15-bit chunk offset of a cache-line address;
+// the chunk number is never touched, which is what guarantees inter-chunk
+// correctness (paper §4). Every Mapping must be a bijection on the offset
+// space so that one PA maps to exactly one HA and vice versa.
+package mapping
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Mapping is an invertible transform on the chunk-offset bits of a
+// cache-line physical address.
+type Mapping interface {
+	// MapOffset converts a PA chunk offset to the HA chunk offset.
+	MapOffset(off uint32) uint32
+	// UnmapOffset inverts MapOffset.
+	UnmapOffset(off uint32) uint32
+	// Name identifies the mapping for reports.
+	Name() string
+}
+
+// Map applies m to a full line address, preserving the chunk number.
+func Map(m Mapping, l geom.LineAddr) geom.LineAddr {
+	return geom.Join(l.Chunk(), m.MapOffset(l.Offset()))
+}
+
+// Unmap inverts Map.
+func Unmap(m Mapping, l geom.LineAddr) geom.LineAddr {
+	return geom.Join(l.Chunk(), m.UnmapOffset(l.Offset()))
+}
+
+// Identity is the default mapping (DM): the memory controller's
+// boot-time channel-interleaved layout, under which consecutive cache
+// lines land on consecutive channels. With the fixed HA field layout
+// (channel in the low offset bits) this is the identity permutation.
+type Identity struct{}
+
+// MapOffset returns off unchanged.
+func (Identity) MapOffset(off uint32) uint32 { return off & offMask }
+
+// UnmapOffset returns off unchanged.
+func (Identity) UnmapOffset(off uint32) uint32 { return off & offMask }
+
+// Name implements Mapping.
+func (Identity) Name() string { return "DM" }
+
+const offMask = 1<<geom.OffsetBits - 1
+
+// Shuffle is a bit-shuffle mapping: an arbitrary permutation of the
+// 15 offset bits, exactly what the AMU crossbar realizes (§5.2). The
+// permutation is stored as perm[i] = source PA bit feeding HA bit i.
+type Shuffle struct {
+	perm [geom.OffsetBits]uint8
+	inv  [geom.OffsetBits]uint8
+	name string
+}
+
+// NewShuffle builds a Shuffle from a permutation of 0..OffsetBits-1.
+// perm[i] names the PA offset bit that becomes HA offset bit i.
+func NewShuffle(perm []int, name string) (*Shuffle, error) {
+	if len(perm) != geom.OffsetBits {
+		return nil, fmt.Errorf("mapping: permutation has %d entries, want %d", len(perm), geom.OffsetBits)
+	}
+	var s Shuffle
+	seen := [geom.OffsetBits]bool{}
+	for i, p := range perm {
+		if p < 0 || p >= geom.OffsetBits {
+			return nil, fmt.Errorf("mapping: permutation entry %d out of range", p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("mapping: permutation entry %d repeated (not a bijection)", p)
+		}
+		seen[p] = true
+		s.perm[i] = uint8(p)
+		s.inv[p] = uint8(i)
+	}
+	if name == "" {
+		name = "BSM"
+	}
+	s.name = name
+	return &s, nil
+}
+
+// MustShuffle is NewShuffle that panics on invalid input; for tests and
+// package-internal constants.
+func MustShuffle(perm []int, name string) *Shuffle {
+	s, err := NewShuffle(perm, name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MapOffset permutes the offset bits.
+func (s *Shuffle) MapOffset(off uint32) uint32 {
+	var out uint32
+	for i := 0; i < geom.OffsetBits; i++ {
+		out |= (off >> s.perm[i] & 1) << i
+	}
+	return out
+}
+
+// UnmapOffset applies the inverse permutation.
+func (s *Shuffle) UnmapOffset(off uint32) uint32 {
+	var out uint32
+	for i := 0; i < geom.OffsetBits; i++ {
+		out |= (off >> s.inv[i] & 1) << i
+	}
+	return out
+}
+
+// Name implements Mapping.
+func (s *Shuffle) Name() string { return s.name }
+
+// Perm returns a copy of the permutation (HA bit ← PA bit).
+func (s *Shuffle) Perm() []int {
+	out := make([]int, geom.OffsetBits)
+	for i, p := range s.perm {
+		out[i] = int(p)
+	}
+	return out
+}
+
+// IdentityShuffle returns the identity permutation as a Shuffle, useful
+// when the crossbar must be configured explicitly.
+func IdentityShuffle() *Shuffle {
+	perm := make([]int, geom.OffsetBits)
+	for i := range perm {
+		perm[i] = i
+	}
+	return MustShuffle(perm, "DM")
+}
+
+// XORHash is the hashing-based mapping (HM): each HA offset bit is the
+// XOR of a set of PA offset bits. The transform is a linear map over
+// GF(2); NewXORHash rejects singular matrices so invertibility — and
+// hence PA↔HA correctness — is guaranteed by construction.
+type XORHash struct {
+	rows [geom.OffsetBits]uint32 // rows[i] = mask of PA bits XORed into HA bit i
+	inv  [geom.OffsetBits]uint32
+	name string
+}
+
+// NewXORHash builds an XORHash from row masks. rows[i] is the set of PA
+// offset bits whose XOR produces HA offset bit i.
+func NewXORHash(rows []uint32, name string) (*XORHash, error) {
+	if len(rows) != geom.OffsetBits {
+		return nil, fmt.Errorf("mapping: hash has %d rows, want %d", len(rows), geom.OffsetBits)
+	}
+	var h XORHash
+	for i, r := range rows {
+		h.rows[i] = r & offMask
+	}
+	inv, ok := invertGF2(h.rows)
+	if !ok {
+		return nil, fmt.Errorf("mapping: hash matrix is singular (not invertible)")
+	}
+	h.inv = inv
+	if name == "" {
+		name = "HM"
+	}
+	h.name = name
+	return &h, nil
+}
+
+// DefaultXORHash returns the entropy-concentrating hash used by the
+// BS+HM baseline, after Liu et al. (ISCA'18): each channel bit XORs one
+// higher address bit into the original, harvesting entropy from a
+// limited window of address bits (offset bits 0–9 here). The window is
+// what makes HM a compromise: common strides spread well, but patterns
+// whose variation lives entirely above the window still collapse onto
+// one channel — the residual underutilization visible in Fig 11(b).
+func DefaultXORHash() *XORHash {
+	rows := make([]uint32, geom.OffsetBits)
+	for i := 0; i < geom.OffsetBits; i++ {
+		rows[i] = 1 << i
+	}
+	for i := 0; i < 5; i++ {
+		rows[i] |= 1 << (i + 5)
+	}
+	h, err := NewXORHash(rows, "HM")
+	if err != nil {
+		panic("mapping: default hash must be invertible: " + err.Error())
+	}
+	return h
+}
+
+// MapOffset applies the GF(2) linear map.
+func (h *XORHash) MapOffset(off uint32) uint32 {
+	return applyGF2(&h.rows, off&offMask)
+}
+
+// UnmapOffset applies the inverse map.
+func (h *XORHash) UnmapOffset(off uint32) uint32 {
+	return applyGF2(&h.inv, off&offMask)
+}
+
+// Name implements Mapping.
+func (h *XORHash) Name() string { return h.name }
+
+func applyGF2(rows *[geom.OffsetBits]uint32, off uint32) uint32 {
+	var out uint32
+	for i := 0; i < geom.OffsetBits; i++ {
+		out |= uint32(bits.OnesCount32(rows[i]&off)&1) << i
+	}
+	return out
+}
+
+// invertGF2 inverts a square bit matrix by Gauss-Jordan elimination.
+func invertGF2(rows [geom.OffsetBits]uint32) ([geom.OffsetBits]uint32, bool) {
+	n := geom.OffsetBits
+	a := rows
+	var inv [geom.OffsetBits]uint32
+	for i := 0; i < n; i++ {
+		inv[i] = 1 << i
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a[r]>>col&1 == 1 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return inv, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		for r := 0; r < n; r++ {
+			if r != col && a[r]>>col&1 == 1 {
+				a[r] ^= a[col]
+				inv[r] ^= inv[col]
+			}
+		}
+	}
+	return inv, true
+}
+
+// BFRV is a bit-flip-rate vector over the chunk-offset bits (paper
+// Eq. 1): element i is the fraction of consecutive access pairs in a
+// trace whose offset bit i differs.
+type BFRV [geom.OffsetBits]float64
+
+// ComputeBFRV computes the BFRV of a cache-line address trace. Only the
+// chunk-offset bits participate; chunk-number bits carry no mapping
+// freedom. A trace with fewer than two accesses yields the zero vector.
+func ComputeBFRV(trace []geom.LineAddr) BFRV {
+	var v BFRV
+	if len(trace) < 2 {
+		return v
+	}
+	var flips [geom.OffsetBits]int
+	prev := trace[0].Offset()
+	for _, l := range trace[1:] {
+		cur := l.Offset()
+		diff := prev ^ cur
+		for diff != 0 {
+			b := bits.TrailingZeros32(diff)
+			flips[b]++
+			diff &= diff - 1
+		}
+		prev = cur
+	}
+	n := float64(len(trace) - 1)
+	for i, f := range flips {
+		v[i] = float64(f) / n
+	}
+	return v
+}
+
+// Add accumulates o into v element-wise (for averaging cluster members).
+func (v *BFRV) Add(o BFRV) {
+	for i := range v {
+		v[i] += o[i]
+	}
+}
+
+// Scale multiplies every element by s.
+func (v *BFRV) Scale(s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Dist2 returns the squared Euclidean distance to o.
+func (v BFRV) Dist2(o BFRV) float64 {
+	var d float64
+	for i := range v {
+		x := v[i] - o[i]
+		d += x * x
+	}
+	return d
+}
+
+// FromBFRV derives the bit-shuffle mapping for an access pattern from
+// its BFRV, following the paper's rule (§6.2): the highest-flipping bits
+// become channel bits so concurrent accesses spread across channels; the
+// next group feeds the column (row-buffer locality), then banks, and the
+// lowest-flipping bits select rows.
+func FromBFRV(v BFRV, g geom.Geometry, name string) *Shuffle {
+	b := g.Bits()
+	chBits, colBits, bankBits, rowBits := b.OffsetFields()
+
+	// Sort PA bits by flip rate, descending; ties broken toward lower
+	// bit index so the identity mapping emerges from a streaming trace.
+	idx := make([]int, geom.OffsetBits)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, c int) bool {
+		if v[idx[a]] != v[idx[c]] {
+			return v[idx[a]] > v[idx[c]]
+		}
+		return idx[a] < idx[c]
+	})
+
+	perm := make([]int, geom.OffsetBits)
+	pos := 0
+	assign := func(haBase, n int) {
+		// Within a field, keep PA bit order ascending so that, e.g., a
+		// pure streaming trace maps to the identity permutation.
+		group := append([]int(nil), idx[pos:pos+n]...)
+		sort.Ints(group)
+		for k := 0; k < n; k++ {
+			perm[haBase+k] = group[k]
+		}
+		pos += n
+	}
+	haChannel := 0
+	haColumn := haChannel + chBits
+	haBank := haColumn + colBits
+	haRow := haBank + bankBits
+	assign(haChannel, chBits)
+	assign(haColumn, colBits)
+	assign(haBank, bankBits)
+	assign(haRow, rowBits)
+	if name == "" {
+		name = "BSM"
+	}
+	return MustShuffle(perm, name)
+}
+
+// ForStride returns the bit-shuffle mapping that is optimal for a pure
+// stride-s (in cache lines) access pattern: the bits that vary between
+// consecutive accesses are exactly the bits at and above log2(s), so
+// those become the channel bits. This is the closed-form the paper uses
+// for the synthetic benchmark where "the optimal address mapping can be
+// derived from the strides directly" (§7.4).
+func ForStride(strideLines int, g geom.Geometry) *Shuffle {
+	if strideLines < 1 {
+		strideLines = 1
+	}
+	s := bits.TrailingZeros(uint(strideLines))
+	if s >= geom.OffsetBits {
+		s = geom.OffsetBits - 1
+	}
+	// Rotate the offset bits left by s: HA bit i takes PA bit (i+s) mod n,
+	// putting the varying bits in the channel field.
+	perm := make([]int, geom.OffsetBits)
+	for i := range perm {
+		perm[i] = (i + s) % geom.OffsetBits
+	}
+	return MustShuffle(perm, fmt.Sprintf("BSM(stride=%d)", strideLines))
+}

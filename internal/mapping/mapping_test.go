@@ -1,0 +1,300 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func randPerm(r *rand.Rand) []int { return r.Perm(geom.OffsetBits) }
+
+func TestIdentityRoundTrip(t *testing.T) {
+	m := Identity{}
+	f := func(off uint32) bool {
+		off &= offMask
+		return m.UnmapOffset(m.MapOffset(off)) == off && m.MapOffset(off) == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleIsBijection(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		s := MustShuffle(randPerm(r), "t")
+		seen := make([]bool, 1<<geom.OffsetBits)
+		for off := uint32(0); off < 1<<geom.OffsetBits; off++ {
+			m := s.MapOffset(off)
+			if seen[m] {
+				t.Fatalf("trial %d: offset %#x collides", trial, off)
+			}
+			seen[m] = true
+			if s.UnmapOffset(m) != off {
+				t.Fatalf("trial %d: unmap(map(%#x)) = %#x", trial, off, s.UnmapOffset(m))
+			}
+		}
+	}
+}
+
+func TestShuffleRejectsInvalidPerms(t *testing.T) {
+	if _, err := NewShuffle([]int{0, 1}, ""); err == nil {
+		t.Error("short permutation accepted")
+	}
+	bad := make([]int, geom.OffsetBits)
+	for i := range bad {
+		bad[i] = 0 // all map to bit 0
+	}
+	if _, err := NewShuffle(bad, ""); err == nil {
+		t.Error("non-bijective permutation accepted")
+	}
+	bad[1] = geom.OffsetBits // out of range
+	if _, err := NewShuffle(bad, ""); err == nil {
+		t.Error("out-of-range permutation accepted")
+	}
+}
+
+func TestShufflePermAccessor(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	p := randPerm(r)
+	s := MustShuffle(p, "t")
+	got := s.Perm()
+	for i := range p {
+		if got[i] != p[i] {
+			t.Fatalf("Perm()[%d] = %d, want %d", i, got[i], p[i])
+		}
+	}
+}
+
+func TestIdentityShuffleMatchesIdentity(t *testing.T) {
+	s := IdentityShuffle()
+	for off := uint32(0); off < 1<<geom.OffsetBits; off += 97 {
+		if s.MapOffset(off) != off {
+			t.Fatalf("identity shuffle moved %#x", off)
+		}
+	}
+}
+
+func TestXORHashRoundTrip(t *testing.T) {
+	h := DefaultXORHash()
+	f := func(off uint32) bool {
+		off &= offMask
+		return h.UnmapOffset(h.MapOffset(off)) == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXORHashRejectsSingular(t *testing.T) {
+	rows := make([]uint32, geom.OffsetBits)
+	for i := range rows {
+		rows[i] = 1 // every HA bit = PA bit 0: singular
+	}
+	if _, err := NewXORHash(rows, ""); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+}
+
+func TestXORHashIsBijectionExhaustive(t *testing.T) {
+	h := DefaultXORHash()
+	seen := make([]bool, 1<<geom.OffsetBits)
+	for off := uint32(0); off < 1<<geom.OffsetBits; off++ {
+		m := h.MapOffset(off)
+		if seen[m] {
+			t.Fatalf("offset %#x collides", off)
+		}
+		seen[m] = true
+	}
+}
+
+func TestMapPreservesChunkNumber(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	maps := []Mapping{Identity{}, MustShuffle(randPerm(r), "s"), DefaultXORHash()}
+	f := func(raw uint64) bool {
+		l := geom.LineAddr(raw % geom.Default().TotalLines())
+		for _, m := range maps {
+			if Map(m, l).Chunk() != l.Chunk() {
+				return false
+			}
+			if Unmap(m, Map(m, l)) != l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeBFRVStreaming(t *testing.T) {
+	// A streaming trace flips bit 0 on every access, bit 1 on every
+	// second access, etc.
+	trace := make([]geom.LineAddr, 1024)
+	for i := range trace {
+		trace[i] = geom.LineAddr(i)
+	}
+	v := ComputeBFRV(trace)
+	if v[0] != 1.0 {
+		t.Errorf("bit 0 flip rate = %v, want 1.0", v[0])
+	}
+	if v[1] <= v[2] || v[0] <= v[1] {
+		t.Errorf("flip rates not monotonically decreasing: %v", v[:4])
+	}
+}
+
+func TestComputeBFRVStride(t *testing.T) {
+	// Stride 16 (lines): bits below 4 never flip; bit 4 flips always.
+	trace := make([]geom.LineAddr, 512)
+	for i := range trace {
+		trace[i] = geom.LineAddr(i * 16)
+	}
+	v := ComputeBFRV(trace)
+	for b := 0; b < 4; b++ {
+		if v[b] != 0 {
+			t.Errorf("bit %d flip rate = %v, want 0 for stride 16", b, v[b])
+		}
+	}
+	if v[4] != 1.0 {
+		t.Errorf("bit 4 flip rate = %v, want 1.0 for stride 16", v[4])
+	}
+}
+
+func TestComputeBFRVDegenerate(t *testing.T) {
+	if v := ComputeBFRV(nil); v != (BFRV{}) {
+		t.Error("nil trace should give zero BFRV")
+	}
+	if v := ComputeBFRV([]geom.LineAddr{42}); v != (BFRV{}) {
+		t.Error("single-access trace should give zero BFRV")
+	}
+}
+
+func TestBFRVArithmetic(t *testing.T) {
+	var a, b BFRV
+	a[0], a[1] = 1, 2
+	b[0], b[1] = 3, 4
+	a.Add(b)
+	if a[0] != 4 || a[1] != 6 {
+		t.Fatalf("Add wrong: %v", a[:2])
+	}
+	a.Scale(0.5)
+	if a[0] != 2 || a[1] != 3 {
+		t.Fatalf("Scale wrong: %v", a[:2])
+	}
+	var c BFRV
+	c[0] = 2
+	if d := a.Dist2(c); d != 9 {
+		t.Fatalf("Dist2 = %v, want 9", d)
+	}
+}
+
+func TestFromBFRVStreamingYieldsIdentity(t *testing.T) {
+	trace := make([]geom.LineAddr, 4096)
+	for i := range trace {
+		trace[i] = geom.LineAddr(i)
+	}
+	s := FromBFRV(ComputeBFRV(trace), geom.Default(), "")
+	for i, p := range s.Perm() {
+		if p != i {
+			t.Fatalf("streaming trace should produce identity mapping, got perm[%d]=%d", i, p)
+		}
+	}
+}
+
+func TestFromBFRVStride16MovesChannelBits(t *testing.T) {
+	// With stride 16 the flipping bits are 4.. so channel (HA bits 0-4)
+	// must be fed from PA bits >= 4.
+	trace := make([]geom.LineAddr, 4096)
+	for i := range trace {
+		trace[i] = geom.LineAddr(i * 16)
+	}
+	s := FromBFRV(ComputeBFRV(trace), geom.Default(), "")
+	perm := s.Perm()
+	for i := 0; i < 5; i++ {
+		if perm[i] < 4 {
+			t.Fatalf("channel HA bit %d fed from dead PA bit %d", i, perm[i])
+		}
+	}
+}
+
+func TestForStrideSpreadsAccesses(t *testing.T) {
+	g := geom.Default()
+	for _, stride := range []int{1, 2, 4, 8, 16, 32, 64} {
+		m := ForStride(stride, g)
+		channels := make(map[int]bool)
+		for i := 0; i < 256; i++ {
+			l := geom.LineAddr(i * stride)
+			ha := g.Decode(Map(m, l))
+			channels[ha.Channel] = true
+		}
+		if len(channels) < g.Channels {
+			t.Errorf("stride %d: only %d/%d channels used with tailored mapping",
+				stride, len(channels), g.Channels)
+		}
+	}
+}
+
+func TestForStrideDegenerateInputs(t *testing.T) {
+	g := geom.Default()
+	if m := ForStride(0, g); m == nil {
+		t.Fatal("stride 0 should clamp, not fail")
+	}
+	if m := ForStride(1<<20, g); m == nil {
+		t.Fatal("huge stride should clamp, not fail")
+	}
+}
+
+func TestIdentityUnderStrideCausesContention(t *testing.T) {
+	// Sanity-check the motivating problem (Fig 2/3): the default mapping
+	// under stride 32 uses a single channel.
+	g := geom.Default()
+	m := Identity{}
+	channels := make(map[int]bool)
+	for i := 0; i < 256; i++ {
+		l := geom.LineAddr(i * 32)
+		ha := g.Decode(Map(m, l))
+		channels[ha.Channel] = true
+	}
+	if len(channels) != 1 {
+		t.Fatalf("stride 32 under DM used %d channels, want 1", len(channels))
+	}
+}
+
+// FuzzShuffleRoundTrip drives random permutations and offsets through
+// the crossbar transform, asserting bijectivity from the fuzzing corpus.
+func FuzzShuffleRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint32(0x1234))
+	f.Add(int64(99), uint32(0x7fff))
+	f.Fuzz(func(t *testing.T, seed int64, off uint32) {
+		r := rand.New(rand.NewSource(seed))
+		s := MustShuffle(r.Perm(geom.OffsetBits), "fuzz")
+		off &= offMask
+		if got := s.UnmapOffset(s.MapOffset(off)); got != off {
+			t.Fatalf("roundtrip %#x -> %#x", off, got)
+		}
+	})
+}
+
+// FuzzXORHashRoundTrip fuzzes random invertible-or-not row masks: either
+// construction fails, or the mapping must round-trip.
+func FuzzXORHashRoundTrip(f *testing.F) {
+	f.Add(int64(3), uint32(42))
+	f.Fuzz(func(t *testing.T, seed int64, off uint32) {
+		r := rand.New(rand.NewSource(seed))
+		rows := make([]uint32, geom.OffsetBits)
+		for i := range rows {
+			rows[i] = 1<<i | uint32(r.Intn(1<<geom.OffsetBits))&offMask
+		}
+		h, err := NewXORHash(rows, "fuzz")
+		if err != nil {
+			return // singular matrices are legitimately rejected
+		}
+		off &= offMask
+		if got := h.UnmapOffset(h.MapOffset(off)); got != off {
+			t.Fatalf("roundtrip %#x -> %#x", off, got)
+		}
+	})
+}

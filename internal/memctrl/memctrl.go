@@ -1,0 +1,104 @@
+// Package memctrl models the memory-controller front end: for every
+// external access it resolves the PA→HA mapping and issues the access to
+// the HBM device.
+//
+// Two resolution modes mirror the paper's system configurations (§7.3):
+//
+//   - Global mode: a single boot-time mapping (default, bit-shuffle, or
+//     XOR hash) applies to every physical address — the BS+DM / BS+BSM /
+//     BS+HM baselines.
+//   - SDAM mode: the controller consults the CMT with the chunk number,
+//     feeds the returned crossbar configuration to the AMU, and uses the
+//     remapped offset — the SDM+* configurations.
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/amu"
+	"repro/internal/cmt"
+	"repro/internal/geom"
+	"repro/internal/hbm"
+	"repro/internal/mapping"
+)
+
+// Controller issues line accesses to an HBM device under a mapping
+// policy. Not safe for concurrent use; callers serialize issue order, as
+// the CPU/accelerator models do.
+type Controller struct {
+	dev *hbm.Device
+
+	// Exactly one of global/table is active.
+	global mapping.Mapping
+	table  *cmt.Table
+	amu    *amu.AMU
+
+	// cmtPenalty is the extra lookup latency added per access in SDAM
+	// mode. The paper's CMT is a 6 ns SRAM read that proceeds in
+	// parallel with the controller front end (80 ns in the device
+	// timing), so it is fully hidden and the modeled penalty is zero;
+	// the field exists so sensitivity studies can expose it.
+	cmtPenalty float64
+}
+
+// NewGlobal creates a controller applying one fixed mapping to all
+// addresses (the hardware-only baselines).
+func NewGlobal(dev *hbm.Device, m mapping.Mapping) *Controller {
+	if m == nil {
+		m = mapping.Identity{}
+	}
+	return &Controller{dev: dev, global: m}
+}
+
+// NewSDAM creates a controller that resolves mappings through the CMT
+// and AMU (the software-defined configurations).
+func NewSDAM(dev *hbm.Device, table *cmt.Table, unit *amu.AMU) *Controller {
+	if table == nil || unit == nil {
+		panic("memctrl: SDAM controller requires a CMT and an AMU")
+	}
+	return &Controller{dev: dev, table: table, amu: unit, cmtPenalty: 0}
+}
+
+// Device exposes the underlying HBM device for statistics.
+func (c *Controller) Device() *hbm.Device { return c.dev }
+
+// SDAM reports whether the controller resolves mappings through the CMT.
+func (c *Controller) SDAM() bool { return c.table != nil }
+
+// Table returns the controller's CMT, or nil in global mode.
+func (c *Controller) Table() *cmt.Table { return c.table }
+
+// Access issues the cache line at physical line address l arriving at
+// time `at` (ns) and returns the completion time.
+func (c *Controller) Access(at float64, l geom.LineAddr) (float64, error) {
+	var ha geom.LineAddr
+	if c.table != nil {
+		cfg, err := c.table.Lookup(l.Chunk())
+		if err != nil {
+			return 0, fmt.Errorf("memctrl: %w", err)
+		}
+		ha = c.amu.Translate(cfg, l)
+		at += c.cmtPenalty
+	} else {
+		ha = mapping.Map(c.global, l)
+	}
+	return c.dev.Access(at, c.dev.Geometry().Decode(ha)), nil
+}
+
+// MustAccess is Access for callers that have already validated the
+// address range; lookup errors indicate a harness bug and panic.
+func (c *Controller) MustAccess(at float64, l geom.LineAddr) float64 {
+	t, err := c.Access(at, l)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Describe names the active policy for reports.
+func (c *Controller) Describe() string {
+	if c.table != nil {
+		return fmt.Sprintf("SDAM (%d live mappings)", c.table.LiveMappings())
+	}
+	return "global " + c.global.Name()
+}

@@ -1,0 +1,161 @@
+package memctrl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/amu"
+	"repro/internal/cmt"
+	"repro/internal/geom"
+	"repro/internal/hbm"
+	"repro/internal/mapping"
+)
+
+func newDev() *hbm.Device { return hbm.New(geom.Default(), hbm.DefaultTiming()) }
+
+func TestGlobalDefaultsToIdentity(t *testing.T) {
+	c := NewGlobal(newDev(), nil)
+	if !strings.Contains(c.Describe(), "DM") {
+		t.Fatalf("Describe = %q", c.Describe())
+	}
+	if c.SDAM() {
+		t.Fatal("global controller claims SDAM")
+	}
+}
+
+func TestStrideContentionUnderGlobalDM(t *testing.T) {
+	// The motivating experiment: stride-32 copy under the default
+	// mapping funnels into one channel; a stride-matched shuffle spreads
+	// it across all 32.
+	run := func(m mapping.Mapping) hbm.Stats {
+		c := NewGlobal(newDev(), m)
+		for i := 0; i < 2048; i++ {
+			c.MustAccess(0, geom.LineAddr(i*32))
+		}
+		return c.Device().Stats()
+	}
+	dm := run(mapping.Identity{})
+	if dm.ChannelsUsed() != 1 {
+		t.Fatalf("DM stride 32: %d channels used, want 1", dm.ChannelsUsed())
+	}
+	bsm := run(mapping.ForStride(32, geom.Default()))
+	if bsm.ChannelsUsed() != 32 {
+		t.Fatalf("tailored BSM stride 32: %d channels used, want 32", bsm.ChannelsUsed())
+	}
+	speedup := dm.LastFinish / bsm.LastFinish
+	if speedup < 10 {
+		t.Fatalf("tailored mapping speedup %.1fx, want >10x (paper Fig 3: ~20x)", speedup)
+	}
+}
+
+func TestSDAMRoutesPerChunkMappings(t *testing.T) {
+	dev := newDev()
+	table := cmt.New(dev.Geometry().Chunks())
+	ctrl := NewSDAM(dev, table, amu.New(8))
+	if !ctrl.SDAM() || ctrl.Table() != table {
+		t.Fatal("SDAM accessors wrong")
+	}
+
+	// Chunk 0 keeps the default mapping; chunk 1 gets a stride-16 shuffle.
+	idx, err := table.AllocMappingIndex(amu.ConfigFromShuffle(mapping.ForStride(16, dev.Geometry())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.BindChunk(1, idx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stride-16 accesses within chunk 1 must fan out across channels...
+	for i := 0; i < 1024; i++ {
+		ctrl.MustAccess(0, geom.Join(1, uint32(i*16)%geom.LinesPerChunk))
+	}
+	if n := dev.Stats().ChannelsUsed(); n != 32 {
+		t.Fatalf("chunk with tailored mapping used %d channels, want 32", n)
+	}
+
+	// ...while the same pattern in chunk 0 (default mapping) stays narrow.
+	dev.Reset()
+	for i := 0; i < 1024; i++ {
+		ctrl.MustAccess(0, geom.Join(0, uint32(i*16)%geom.LinesPerChunk))
+	}
+	if n := dev.Stats().ChannelsUsed(); n > 2 {
+		t.Fatalf("default-mapped chunk used %d channels, want ≤2", n)
+	}
+}
+
+func TestAccessRejectsOutOfRangeChunk(t *testing.T) {
+	dev := newDev()
+	ctrl := NewSDAM(dev, cmt.New(4), amu.New(1))
+	if _, err := ctrl.Access(0, geom.Join(10, 0)); err == nil {
+		t.Fatal("out-of-range chunk accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAccess did not panic")
+		}
+	}()
+	ctrl.MustAccess(0, geom.Join(10, 0))
+}
+
+func TestNewSDAMRequiresParts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil CMT accepted")
+		}
+	}()
+	NewSDAM(newDev(), nil, amu.New(1))
+}
+
+func TestCMTLookupIsHiddenByFrontEnd(t *testing.T) {
+	// The 6 ns CMT SRAM read overlaps the controller front end (80 ns),
+	// so an SDAM access with the default mapping completes exactly when
+	// the equivalent global-mapping access does.
+	devA, devB := newDev(), newDev()
+	g := NewGlobal(devA, mapping.Identity{})
+	s := NewSDAM(devB, cmt.New(devB.Geometry().Chunks()), amu.New(8))
+	ta := g.MustAccess(0, 0)
+	tb := s.MustAccess(0, 0)
+	if tb != ta {
+		t.Fatalf("SDAM path added %v ns over the global path", tb-ta)
+	}
+	if lat := cmt.StorageBits(devB.Geometry().Chunks()).LatencyNanos; lat >= devB.Timing().TFront {
+		t.Fatalf("CMT latency %v not actually hidden by %v front end", lat, devB.Timing().TFront)
+	}
+}
+
+func TestGlobalXORHashSpreadsManyStrides(t *testing.T) {
+	// HM's defining property: decent (not perfect) channel spread across
+	// a wide range of power-of-two strides.
+	c := NewGlobal(newDev(), mapping.DefaultXORHash())
+	for _, stride := range []int{1, 2, 4, 8, 16, 32, 64} {
+		c.Device().Reset()
+		for i := 0; i < 1024; i++ {
+			c.MustAccess(0, geom.LineAddr(i*stride)%geom.LineAddr(geom.Default().TotalLines()))
+		}
+		if n := c.Device().Stats().ChannelsUsed(); n < 8 {
+			t.Errorf("HM stride %d: only %d channels used", stride, n)
+		}
+	}
+}
+
+func TestSDAMWithDefaultsMatchesGlobalIdentity(t *testing.T) {
+	// Property: an SDAM controller whose CMT still holds only the boot
+	// default must behave identically to a global identity controller —
+	// same completion time for every access of any trace.
+	devA, devB := newDev(), newDev()
+	g := NewGlobal(devA, mapping.Identity{})
+	s := NewSDAM(devB, cmt.New(devB.Geometry().Chunks()), amu.New(8))
+	f := func(raw uint64, gap uint8) bool {
+		l := geom.LineAddr(raw % devA.Geometry().TotalLines())
+		at := float64(gap)
+		return g.MustAccess(at, l) == s.MustAccess(at, l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := devA.Stats(), devB.Stats()
+	if sa.RowHits != sb.RowHits || sa.Bytes != sb.Bytes {
+		t.Fatalf("diverged: %+v vs %+v", sa, sb)
+	}
+}

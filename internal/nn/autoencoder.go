@@ -1,0 +1,333 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/kmeans"
+)
+
+// Sequence is one training sample for the embedding model: a window of
+// consecutive (Δ, VID) pairs from the profiled access trace (Fig 9).
+type Sequence struct {
+	Deltas []uint32 // 15-bit XOR deltas between consecutive accesses
+	VIDs   []int
+}
+
+// Config sizes the autoencoder. The paper's production values (Table 2:
+// 256×2 LSTM, 256-dim embedding, 500k steps) are scaled down by default
+// to laptop-budget sizes; the architecture is identical.
+type Config struct {
+	DeltaBits int // width of Δ; geom.OffsetBits in this system
+	NumVIDs   int // vocabulary of variable IDs
+	EmbDim    int // per-input embedding size
+	Hidden    int // LSTM hidden size == learned-embedding dimension
+	Layers    int // stacked LSTM layers per coder (Table 2: 2); default 1
+	Seed      int64
+}
+
+func (c Config) layers() int {
+	if c.Layers <= 0 {
+		return 1
+	}
+	return c.Layers
+}
+
+// DefaultConfig returns the scaled-down training configuration.
+func DefaultConfig(numVIDs int) Config {
+	return Config{DeltaBits: geom.OffsetBits, NumVIDs: numVIDs, EmbDim: 16, Hidden: 32, Layers: 1, Seed: 1}
+}
+
+// PaperConfig returns Table 2's full-size hyper-parameters, for
+// documentation and the profiling-cost experiment's extrapolation.
+func PaperConfig(numVIDs int) Config {
+	return Config{DeltaBits: geom.OffsetBits, NumVIDs: numVIDs, EmbDim: 256, Hidden: 256, Layers: 2, Seed: 1}
+}
+
+// Autoencoder is the embedding-LSTM model of Fig 9: Δ and VID are
+// embedded separately, concatenated, fed to an LSTM encoder whose final
+// hidden state is the sequence embedding; an LSTM decoder conditioned on
+// that embedding reconstructs the Δ bit-vectors, trained with the L1
+// reconstruction loss of Eq. 3 and optionally a joint clustering loss.
+type Autoencoder struct {
+	cfg      Config
+	deltaEmb *Linear // DeltaBits → EmbDim (sum of per-bit embeddings)
+	vidEmb   *Param  // NumVIDs × EmbDim lookup
+	enc      *Stack  // 2·EmbDim → Hidden (Layers deep)
+	dec      *Stack  // Hidden → Hidden (Layers deep)
+	out      *Linear // Hidden → DeltaBits logits
+}
+
+// NewAutoencoder builds the model.
+func NewAutoencoder(cfg Config) (*Autoencoder, error) {
+	if cfg.DeltaBits <= 0 || cfg.NumVIDs <= 0 || cfg.EmbDim <= 0 || cfg.Hidden <= 0 {
+		return nil, fmt.Errorf("nn: invalid config %+v", cfg)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	return &Autoencoder{
+		cfg:      cfg,
+		deltaEmb: NewLinear("deltaEmb", cfg.DeltaBits, cfg.EmbDim, r),
+		vidEmb:   NewParam("vidEmb", cfg.NumVIDs, cfg.EmbDim, r),
+		enc:      NewStack("enc", 2*cfg.EmbDim, cfg.Hidden, cfg.layers(), r),
+		dec:      NewStack("dec", cfg.Hidden, cfg.Hidden, cfg.layers(), r),
+		out:      NewLinear("out", cfg.Hidden, cfg.DeltaBits, r),
+	}, nil
+}
+
+// Params returns every learnable tensor.
+func (m *Autoencoder) Params() []*Param {
+	ps := m.deltaEmb.Params()
+	ps = append(ps, m.vidEmb)
+	ps = append(ps, m.enc.Params()...)
+	ps = append(ps, m.dec.Params()...)
+	ps = append(ps, m.out.Params()...)
+	return ps
+}
+
+// EmbeddingDim returns the dimensionality of learned embeddings.
+func (m *Autoencoder) EmbeddingDim() int { return m.cfg.Hidden }
+
+func (m *Autoencoder) bitsOf(delta uint32) []float64 {
+	bits := make([]float64, m.cfg.DeltaBits)
+	for b := 0; b < m.cfg.DeltaBits; b++ {
+		bits[b] = float64(delta >> b & 1)
+	}
+	return bits
+}
+
+// forward caches everything a backward pass needs.
+type fwd struct {
+	bitVecs  [][]float64
+	embs     [][]float64 // concatenated Δ/VID embeddings per step
+	encState *StackState
+	h        []float64 // final encoder hidden = sequence embedding
+	decState *StackState
+	decOuts  [][]float64
+	logits   [][]float64
+	probs    [][]float64
+}
+
+func (m *Autoencoder) forward(s Sequence) *fwd {
+	E := m.cfg.EmbDim
+	f := &fwd{}
+	f.bitVecs = make([][]float64, len(s.Deltas))
+	f.embs = make([][]float64, len(s.Deltas))
+	for t, d := range s.Deltas {
+		f.bitVecs[t] = m.bitsOf(d)
+		de := m.deltaEmb.Forward(f.bitVecs[t])
+		vid := s.VIDs[t] % m.cfg.NumVIDs
+		cat := make([]float64, 2*E)
+		copy(cat, de)
+		copy(cat[E:], m.vidEmb.W[vid*E:(vid+1)*E])
+		f.embs[t] = cat
+	}
+	var encOuts [][]float64
+	f.encState, encOuts = m.enc.Forward(f.embs)
+	f.h = encOuts[len(encOuts)-1]
+
+	// The decoder receives the embedding at every step (conditioning by
+	// repetition, the standard seq2seq autoencoder trick).
+	decIn := make([][]float64, len(s.Deltas))
+	for t := range decIn {
+		decIn[t] = f.h
+	}
+	f.decState, f.decOuts = m.dec.Forward(decIn)
+	f.logits = make([][]float64, len(s.Deltas))
+	f.probs = make([][]float64, len(s.Deltas))
+	for t, hOut := range f.decOuts {
+		f.logits[t] = m.out.Forward(hOut)
+		p := make([]float64, len(f.logits[t]))
+		for j, z := range f.logits[t] {
+			p[j] = sigmoid(z)
+		}
+		f.probs[t] = p
+	}
+	return f
+}
+
+// reconLoss returns the Eq. 3 L1 reconstruction loss of a cached
+// forward pass, averaged per bit.
+func (f *fwd) reconLoss() float64 {
+	var loss float64
+	var n int
+	for t, p := range f.probs {
+		for j := range p {
+			loss += math.Abs(p[j] - f.bitVecs[t][j])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return loss / float64(n)
+}
+
+// Embed returns the learned embedding of a sequence (inference only).
+func (m *Autoencoder) Embed(s Sequence) []float64 {
+	if len(s.Deltas) == 0 {
+		return make([]float64, m.cfg.Hidden)
+	}
+	f := m.forward(s)
+	out := make([]float64, len(f.h))
+	copy(out, f.h)
+	return out
+}
+
+// step runs one training example: forward, loss, backward. centroid may
+// be nil (pure reconstruction); otherwise the joint objective
+// L = L_reconstruct + λ·‖h − μ‖² from §6.2 step 2 applies.
+func (m *Autoencoder) step(s Sequence, centroid []float64, lambda float64) float64 {
+	f := m.forward(s)
+	T := len(s.Deltas)
+	nBits := float64(T * m.cfg.DeltaBits)
+
+	// Output layer backward: d|p-y|/dz = sign(p-y)·p·(1-p).
+	dDecOuts := make([][]float64, T)
+	for t := range f.probs {
+		dLogit := make([]float64, m.cfg.DeltaBits)
+		for j, p := range f.probs[t] {
+			sign := 1.0
+			if p < f.bitVecs[t][j] {
+				sign = -1
+			}
+			dLogit[j] = sign * p * (1 - p) / nBits
+		}
+		dDecOuts[t] = m.out.Backward(f.decOuts[t], dLogit)
+	}
+	dDecIn := f.decState.Backward(dDecOuts)
+
+	// The embedding h received gradient from every decoder step plus,
+	// under the joint objective, the clustering pull 2λ(h−μ).
+	dh := make([]float64, m.cfg.Hidden)
+	for _, d := range dDecIn {
+		for j, g := range d {
+			dh[j] += g
+		}
+	}
+	loss := f.reconLoss()
+	if centroid != nil {
+		var cl float64
+		for j := range f.h {
+			diff := f.h[j] - centroid[j]
+			dh[j] += lambda * 2 * diff
+			cl += diff * diff
+		}
+		loss += lambda * cl
+	}
+
+	dEncOuts := make([][]float64, T)
+	dEncOuts[T-1] = dh
+	dEmb := f.encState.Backward(dEncOuts)
+
+	// Embedding backward: split the concatenated gradient.
+	E := m.cfg.EmbDim
+	for t, d := range dEmb {
+		m.deltaEmb.Backward(f.bitVecs[t], d[:E])
+		vid := s.VIDs[t] % m.cfg.NumVIDs
+		for j := 0; j < E; j++ {
+			m.vidEmb.Grad[vid*E+j] += d[E+j]
+		}
+	}
+	return loss
+}
+
+// TrainReport summarizes a training run.
+type TrainReport struct {
+	Steps       int
+	InitialLoss float64
+	FinalLoss   float64
+	ClusterLoss float64
+	Centroids   [][]float64
+	Assignment  []int // per input sequence
+}
+
+// TrainOptions drives TrainJoint.
+type TrainOptions struct {
+	Steps    int     // total optimizer steps; default 400
+	LR       float64 // default 0.001 (Table 2)
+	Lambda   float64 // joint-loss weight; default 0.01 (Table 2)
+	K        int     // clusters; required for the joint phase
+	Reassign int     // recompute K-Means every this many joint steps; default 50
+	Seed     int64
+}
+
+// TrainJoint implements §6.2's two-phase recipe: (1) train the
+// autoencoder on reconstruction alone, (2) run K-Means on the learned
+// embeddings and continue training with the joint loss, periodically
+// refreshing the clustering. It returns the final clustering of the
+// input sequences.
+func (m *Autoencoder) TrainJoint(seqs []Sequence, opts TrainOptions) (TrainReport, error) {
+	if len(seqs) == 0 {
+		return TrainReport{}, fmt.Errorf("nn: no training sequences")
+	}
+	if opts.Steps <= 0 {
+		opts.Steps = 400
+	}
+	if opts.LR <= 0 {
+		opts.LR = 0.001
+	}
+	if opts.Lambda <= 0 {
+		opts.Lambda = 0.01
+	}
+	if opts.K <= 0 {
+		opts.K = 4
+	}
+	if opts.Reassign <= 0 {
+		opts.Reassign = 50
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+	opt := NewAdam(m.Params(), opts.LR)
+
+	var report TrainReport
+	report.Steps = opts.Steps
+	phase1 := opts.Steps / 2
+
+	for step := 0; step < phase1; step++ {
+		s := seqs[r.Intn(len(seqs))]
+		loss := m.step(s, nil, 0)
+		if step == 0 {
+			report.InitialLoss = loss
+		}
+		opt.Step()
+	}
+
+	embed := func() [][]float64 {
+		es := make([][]float64, len(seqs))
+		for i, s := range seqs {
+			es[i] = m.Embed(s)
+		}
+		return es
+	}
+	km, err := kmeans.Cluster(embed(), opts.K, kmeans.Options{Seed: opts.Seed})
+	if err != nil {
+		return report, err
+	}
+
+	for step := phase1; step < opts.Steps; step++ {
+		i := r.Intn(len(seqs))
+		loss := m.step(seqs[i], km.Centroids[km.Assignment[i]], opts.Lambda)
+		opt.Step()
+		report.FinalLoss = loss
+		if (step-phase1+1)%opts.Reassign == 0 {
+			if km, err = kmeans.Cluster(embed(), opts.K, kmeans.Options{Seed: opts.Seed}); err != nil {
+				return report, err
+			}
+		}
+	}
+	km, err = kmeans.Cluster(embed(), opts.K, kmeans.Options{Seed: opts.Seed})
+	if err != nil {
+		return report, err
+	}
+	report.Centroids = km.Centroids
+	report.Assignment = km.Assignment
+	report.ClusterLoss = km.Loss
+	if report.FinalLoss == 0 {
+		report.FinalLoss = report.InitialLoss
+	}
+	return report, CheckFinite(m.Params())
+}

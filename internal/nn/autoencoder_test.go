@@ -1,0 +1,248 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kmeans"
+)
+
+// synthSequences builds sequences from two very different access
+// patterns: variable 0 streams (delta 1), variable 1 strides by 16
+// (delta 16). Each sequence is pure one pattern, mimicking windows of a
+// per-variable trace.
+func synthSequences(n, seqLen int) []Sequence {
+	var seqs []Sequence
+	for i := 0; i < n; i++ {
+		var s Sequence
+		vid := i % 2
+		delta := uint32(1)
+		if vid == 1 {
+			delta = 16
+		}
+		for t := 0; t < seqLen; t++ {
+			s.Deltas = append(s.Deltas, delta)
+			s.VIDs = append(s.VIDs, vid)
+		}
+		seqs = append(seqs, s)
+	}
+	return seqs
+}
+
+func smallConfig() Config {
+	return Config{DeltaBits: 15, NumVIDs: 4, EmbDim: 8, Hidden: 12, Seed: 7}
+}
+
+func TestNewAutoencoderValidation(t *testing.T) {
+	if _, err := NewAutoencoder(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	m, err := NewAutoencoder(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.EmbeddingDim() != 12 {
+		t.Fatalf("EmbeddingDim = %d", m.EmbeddingDim())
+	}
+	// deltaEmb(W,b) + vidEmb + enc(Wx,Wh,b) + dec(Wx,Wh,b) + out(W,b).
+	if len(m.Params()) != 11 {
+		t.Fatalf("params = %d", len(m.Params()))
+	}
+}
+
+func TestEmbedZeroSequence(t *testing.T) {
+	m, _ := NewAutoencoder(smallConfig())
+	e := m.Embed(Sequence{})
+	if len(e) != m.EmbeddingDim() {
+		t.Fatalf("embed dim = %d", len(e))
+	}
+	for _, v := range e {
+		if v != 0 {
+			t.Fatal("empty sequence embedding not zero")
+		}
+	}
+}
+
+func TestReconstructionLossDecreases(t *testing.T) {
+	m, _ := NewAutoencoder(smallConfig())
+	seqs := synthSequences(16, 8)
+	opt := NewAdam(m.Params(), 0.01)
+	r := rand.New(rand.NewSource(1))
+	var first, last float64
+	const steps = 150
+	for i := 0; i < steps; i++ {
+		loss := m.step(seqs[r.Intn(len(seqs))], nil, 0)
+		if i == 0 {
+			first = loss
+		}
+		last = loss
+		opt.Step()
+	}
+	if last >= first {
+		t.Fatalf("reconstruction loss did not decrease: %.4f -> %.4f", first, last)
+	}
+	if err := CheckFinite(m.Params()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainJointSeparatesPatterns(t *testing.T) {
+	m, _ := NewAutoencoder(smallConfig())
+	seqs := synthSequences(24, 8)
+	rep, err := m.TrainJoint(seqs, TrainOptions{Steps: 300, K: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Assignment) != len(seqs) {
+		t.Fatalf("assignment length %d", len(rep.Assignment))
+	}
+	// All stride-1 sequences must share a cluster, disjoint from the
+	// stride-16 cluster.
+	c0 := rep.Assignment[0]
+	c1 := rep.Assignment[1]
+	if c0 == c1 {
+		t.Fatal("distinct patterns collapsed into one cluster")
+	}
+	for i, a := range rep.Assignment {
+		want := c0
+		if i%2 == 1 {
+			want = c1
+		}
+		if a != want {
+			t.Fatalf("sequence %d assigned %d, want %d", i, a, want)
+		}
+	}
+}
+
+func TestTrainJointErrors(t *testing.T) {
+	m, _ := NewAutoencoder(smallConfig())
+	if _, err := m.TrainJoint(nil, TrainOptions{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+func TestEmbeddingsClusterableByKMeans(t *testing.T) {
+	// Even a briefly trained model must give embeddings on which K-Means
+	// achieves lower loss with k=2 than k=1 for two-pattern input — the
+	// premise of the DL-assisted selector.
+	m, _ := NewAutoencoder(smallConfig())
+	seqs := synthSequences(16, 8)
+	if _, err := m.TrainJoint(seqs, TrainOptions{Steps: 120, K: 2, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	var embs [][]float64
+	for _, s := range seqs {
+		embs = append(embs, m.Embed(s))
+	}
+	k1, _ := kmeans.Cluster(embs, 1, kmeans.Options{})
+	k2, _ := kmeans.Cluster(embs, 2, kmeans.Options{})
+	if k2.Loss >= k1.Loss {
+		t.Fatalf("k=2 loss %.4f !< k=1 loss %.4f", k2.Loss, k1.Loss)
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	m, _ := NewAutoencoder(smallConfig())
+	s := synthSequences(2, 8)[0]
+	a := m.Embed(s)
+	b := m.Embed(s)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Embed not deterministic")
+		}
+	}
+}
+
+func TestAutoencoderFullModelGradCheck(t *testing.T) {
+	// Numeric gradient check through the whole model (embeddings, both
+	// LSTMs, output head) including the joint clustering term.
+	cfg := Config{DeltaBits: 6, NumVIDs: 2, EmbDim: 3, Hidden: 4, Seed: 11}
+	m, err := NewAutoencoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := Sequence{Deltas: []uint32{1, 3, 2}, VIDs: []int{0, 1, 0}}
+	centroid := []float64{0.1, -0.2, 0.3, 0}
+	const lambda = 0.05
+
+	loss := func() float64 {
+		f := m.forward(seq)
+		l := f.reconLoss()
+		for j := range f.h {
+			d := f.h[j] - centroid[j]
+			l += lambda * d * d
+		}
+		return l
+	}
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+	m.step(seq, centroid, lambda)
+
+	checked := 0
+	for _, p := range m.Params() {
+		for i := 0; i < len(p.W); i += 5 { // sample weights
+			want := numericGrad(&p.W[i], loss)
+			if math.Abs(p.Grad[i]-want) > 1e-5 {
+				t.Fatalf("%s[%d]: analytic %.8f numeric %.8f", p.Name, i, p.Grad[i], want)
+			}
+			checked++
+		}
+	}
+	if checked < 30 {
+		t.Fatalf("only %d weights checked", checked)
+	}
+}
+
+func TestPaperConfigMatchesTable2(t *testing.T) {
+	cfg := PaperConfig(10)
+	if cfg.EmbDim != 256 || cfg.Hidden != 256 {
+		t.Fatalf("paper config = %+v, want 256-dim embedding and hidden (Table 2)", cfg)
+	}
+}
+
+func TestStackedModelGradCheck(t *testing.T) {
+	// The full-model numeric gradient check again, with two stacked LSTM
+	// layers per coder (the paper's ×2 depth).
+	cfg := Config{DeltaBits: 5, NumVIDs: 2, EmbDim: 3, Hidden: 3, Layers: 2, Seed: 13}
+	m, err := NewAutoencoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := Sequence{Deltas: []uint32{1, 2}, VIDs: []int{0, 1}}
+	loss := func() float64 { return m.forward(seq).reconLoss() }
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+	m.step(seq, nil, 0)
+	for _, p := range m.Params() {
+		for i := 0; i < len(p.W); i += 7 {
+			want := numericGrad(&p.W[i], loss)
+			if math.Abs(p.Grad[i]-want) > 1e-5 {
+				t.Fatalf("%s[%d]: analytic %.8f numeric %.8f", p.Name, i, p.Grad[i], want)
+			}
+		}
+	}
+}
+
+func TestStackedTrainingConverges(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Layers = 2
+	m, err := NewAutoencoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := synthSequences(16, 8)
+	rep, err := m.TrainJoint(seqs, TrainOptions{Steps: 200, K: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Assignment[0] == rep.Assignment[1] {
+		t.Fatal("stacked model collapsed the two patterns")
+	}
+	// 2 layers → 3 more params per coder.
+	if len(m.Params()) != 17 {
+		t.Fatalf("params = %d, want 17", len(m.Params()))
+	}
+}

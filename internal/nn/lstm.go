@@ -1,0 +1,224 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LSTM is a single-layer LSTM processing sequences step by step with
+// full backpropagation through time. Gate layout follows the usual
+// [input, forget, cell, output] convention.
+type LSTM struct {
+	In, Hidden int
+	Wx         *Param // In×4H
+	Wh         *Param // H×4H
+	B          *Param // 1×4H
+}
+
+// NewLSTM creates an LSTM with forget-gate bias initialized to 1, the
+// standard trick for gradient flow on short training budgets.
+func NewLSTM(name string, in, hidden int, r *rand.Rand) *LSTM {
+	l := &LSTM{
+		In: in, Hidden: hidden,
+		Wx: NewParam(name+".Wx", in, 4*hidden, r),
+		Wh: NewParam(name+".Wh", hidden, 4*hidden, r),
+		B:  NewParam(name+".b", 1, 4*hidden, r),
+	}
+	for j := hidden; j < 2*hidden; j++ { // forget gate slice
+		l.B.W[j] = 1
+	}
+	return l
+}
+
+// Params returns the learnable tensors.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// lstmStep caches one timestep's activations for BPTT.
+type lstmStep struct {
+	x          []float64
+	hPrev      []float64
+	cPrev      []float64
+	i, f, g, o []float64 // post-nonlinearity gate values
+	c, h       []float64
+}
+
+// Stack chains several LSTM layers (the "×2" in Table 2's network
+// size): layer k's per-step hidden states feed layer k+1's inputs.
+type Stack struct {
+	layers []*LSTM
+}
+
+// NewStack creates n stacked LSTM layers; the first maps in→hidden, the
+// rest hidden→hidden.
+func NewStack(name string, in, hidden, n int, r *rand.Rand) *Stack {
+	if n < 1 {
+		n = 1
+	}
+	s := &Stack{}
+	for k := 0; k < n; k++ {
+		layerIn := hidden
+		if k == 0 {
+			layerIn = in
+		}
+		s.layers = append(s.layers, NewLSTM(fmt.Sprintf("%s.l%d", name, k), layerIn, hidden, r))
+	}
+	return s
+}
+
+// Params returns every layer's learnable tensors.
+func (s *Stack) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// StackState caches one forward pass through all layers.
+type StackState struct {
+	states []*LSTMState
+}
+
+// Forward runs the stack over a sequence, returning the cached state and
+// the top layer's per-step hidden vectors.
+func (s *Stack) Forward(xs [][]float64) (*StackState, [][]float64) {
+	st := &StackState{}
+	cur := xs
+	for _, l := range s.layers {
+		ls, outs := l.Forward(cur)
+		st.states = append(st.states, ls)
+		cur = outs
+	}
+	return st, cur
+}
+
+// Backward propagates top-layer hidden gradients down the stack and
+// returns the input gradients.
+func (st *StackState) Backward(dH [][]float64) [][]float64 {
+	cur := dH
+	for k := len(st.states) - 1; k >= 0; k-- {
+		cur = st.states[k].Backward(cur)
+	}
+	return cur
+}
+
+// LSTMState is the cached forward pass over one sequence.
+type LSTMState struct {
+	lstm  *LSTM
+	steps []lstmStep
+}
+
+// Forward runs the LSTM over a sequence of input vectors starting from
+// zero state and returns the cached state plus the per-step hidden
+// vectors (aliased into the cache; treat as read-only).
+func (l *LSTM) Forward(xs [][]float64) (*LSTMState, [][]float64) {
+	H := l.Hidden
+	st := &LSTMState{lstm: l, steps: make([]lstmStep, len(xs))}
+	h := make([]float64, H)
+	c := make([]float64, H)
+	outs := make([][]float64, len(xs))
+	for t, x := range xs {
+		s := &st.steps[t]
+		s.x = x
+		s.hPrev = h
+		s.cPrev = c
+		pre := make([]float64, 4*H)
+		copy(pre, l.B.W)
+		for i, xi := range x {
+			if xi == 0 {
+				continue
+			}
+			row := i * 4 * H
+			for j := 0; j < 4*H; j++ {
+				pre[j] += xi * l.Wx.W[row+j]
+			}
+		}
+		for i, hi := range h {
+			if hi == 0 {
+				continue
+			}
+			row := i * 4 * H
+			for j := 0; j < 4*H; j++ {
+				pre[j] += hi * l.Wh.W[row+j]
+			}
+		}
+		s.i = make([]float64, H)
+		s.f = make([]float64, H)
+		s.g = make([]float64, H)
+		s.o = make([]float64, H)
+		s.c = make([]float64, H)
+		s.h = make([]float64, H)
+		for j := 0; j < H; j++ {
+			s.i[j] = sigmoid(pre[j])
+			s.f[j] = sigmoid(pre[H+j])
+			s.g[j] = math.Tanh(pre[2*H+j])
+			s.o[j] = sigmoid(pre[3*H+j])
+			s.c[j] = s.f[j]*c[j] + s.i[j]*s.g[j]
+			s.h[j] = s.o[j] * math.Tanh(s.c[j])
+		}
+		h, c = s.h, s.c
+		outs[t] = s.h
+	}
+	return st, outs
+}
+
+// Backward backpropagates per-step hidden-state gradients dH (same
+// length as the forward sequence; nil entries mean zero gradient) and
+// returns the per-step input gradients. Parameter gradients accumulate
+// into the LSTM's params.
+func (st *LSTMState) Backward(dH [][]float64) [][]float64 {
+	l := st.lstm
+	H := l.Hidden
+	dxs := make([][]float64, len(st.steps))
+	dhNext := make([]float64, H)
+	dcNext := make([]float64, H)
+	for t := len(st.steps) - 1; t >= 0; t-- {
+		s := &st.steps[t]
+		dh := make([]float64, H)
+		copy(dh, dhNext)
+		if t < len(dH) && dH[t] != nil {
+			for j, g := range dH[t] {
+				dh[j] += g
+			}
+		}
+		dPre := make([]float64, 4*H)
+		dc := make([]float64, H)
+		for j := 0; j < H; j++ {
+			tc := math.Tanh(s.c[j])
+			do := dh[j] * tc
+			dc[j] = dcNext[j] + dh[j]*s.o[j]*(1-tc*tc)
+			di := dc[j] * s.g[j]
+			df := dc[j] * s.cPrev[j]
+			dg := dc[j] * s.i[j]
+			dPre[j] = di * s.i[j] * (1 - s.i[j])
+			dPre[H+j] = df * s.f[j] * (1 - s.f[j])
+			dPre[2*H+j] = dg * (1 - s.g[j]*s.g[j])
+			dPre[3*H+j] = do * s.o[j] * (1 - s.o[j])
+		}
+		// Accumulate parameter grads and propagate to x, hPrev.
+		dx := make([]float64, l.In)
+		dhPrev := make([]float64, H)
+		for j := 0; j < 4*H; j++ {
+			g := dPre[j]
+			if g == 0 {
+				continue
+			}
+			l.B.Grad[j] += g
+			for i, xi := range s.x {
+				l.Wx.Grad[i*4*H+j] += xi * g
+				dx[i] += l.Wx.W[i*4*H+j] * g
+			}
+			for i, hi := range s.hPrev {
+				l.Wh.Grad[i*4*H+j] += hi * g
+				dhPrev[i] += l.Wh.W[i*4*H+j] * g
+			}
+		}
+		dxs[t] = dx
+		dhNext = dhPrev
+		for j := 0; j < H; j++ {
+			dcNext[j] = dc[j] * s.f[j]
+		}
+	}
+	return dxs
+}

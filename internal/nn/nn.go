@@ -1,0 +1,172 @@
+// Package nn is a small neural-network substrate written against the
+// standard library only, sufficient to reproduce the paper's DL-assisted
+// address-mapping selector (§6.2, Fig 9, Table 2): bit/ID embeddings, an
+// LSTM encoder-decoder autoencoder, L1 reconstruction loss, a K-Means
+// clustering term on the learned embedding, and Adam optimization.
+//
+// Layers implement explicit forward/backward passes (no tape autograd);
+// each layer caches what its backward pass needs. The package favors
+// clarity over vectorized speed — training sets in this reproduction are
+// thousands of short sequences, well within scalar-loop budgets.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is one learnable tensor with its gradient and Adam state.
+type Param struct {
+	Name string
+	W    []float64 // row-major
+	Grad []float64
+	m, v []float64 // Adam moments
+	Rows int
+	Cols int
+}
+
+// NewParam allocates a rows×cols parameter initialized with the common
+// scaled-uniform scheme.
+func NewParam(name string, rows, cols int, r *rand.Rand) *Param {
+	n := rows * cols
+	p := &Param{
+		Name: name, Rows: rows, Cols: cols,
+		W: make([]float64, n), Grad: make([]float64, n),
+		m: make([]float64, n), v: make([]float64, n),
+	}
+	scale := math.Sqrt(6.0 / float64(rows+cols))
+	for i := range p.W {
+		p.W[i] = (r.Float64()*2 - 1) * scale
+	}
+	return p
+}
+
+// At returns W[row][col].
+func (p *Param) At(row, col int) float64 { return p.W[row*p.Cols+col] }
+
+// AddGrad accumulates into Grad[row][col].
+func (p *Param) AddGrad(row, col int, g float64) { p.Grad[row*p.Cols+col] += g }
+
+// ZeroGrad clears the gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Adam is the Adam optimizer over a set of parameters (Table 2: learning
+// rate 0.001).
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Eps     float64
+	t       int
+	params  []*Param
+	maxNorm float64 // gradient clipping threshold; 0 disables
+}
+
+// NewAdam creates an optimizer with the paper's learning rate and
+// standard betas, clipping gradients at norm 5 for LSTM stability.
+func NewAdam(params []*Param, lr float64) *Adam {
+	if lr <= 0 {
+		lr = 0.001
+	}
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params, maxNorm: 5}
+}
+
+// Step applies one update from the accumulated gradients and clears them.
+func (a *Adam) Step() {
+	a.t++
+	if a.maxNorm > 0 {
+		var norm float64
+		for _, p := range a.params {
+			for _, g := range p.Grad {
+				norm += g * g
+			}
+		}
+		norm = math.Sqrt(norm)
+		if norm > a.maxNorm {
+			scale := a.maxNorm / norm
+			for _, p := range a.params {
+				for i := range p.Grad {
+					p.Grad[i] *= scale
+				}
+			}
+		}
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range a.params {
+		for i, g := range p.Grad {
+			p.m[i] = a.Beta1*p.m[i] + (1-a.Beta1)*g
+			p.v[i] = a.Beta2*p.v[i] + (1-a.Beta2)*g*g
+			mHat := p.m[i] / bc1
+			vHat := p.v[i] / bc2
+			p.W[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// sigmoid and dtanh helpers shared by layers.
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Linear is a dense layer y = xW + b.
+type Linear struct {
+	W *Param // in×out
+	B *Param // 1×out
+}
+
+// NewLinear creates a dense layer.
+func NewLinear(name string, in, out int, r *rand.Rand) *Linear {
+	return &Linear{
+		W: NewParam(name+".W", in, out, r),
+		B: NewParam(name+".b", 1, out, r),
+	}
+}
+
+// Params returns the layer's parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Forward computes y = xW + b.
+func (l *Linear) Forward(x []float64) []float64 {
+	out := make([]float64, l.W.Cols)
+	for j := 0; j < l.W.Cols; j++ {
+		s := l.B.W[j]
+		for i, xi := range x {
+			s += xi * l.W.At(i, j)
+		}
+		out[j] = s
+	}
+	return out
+}
+
+// Backward accumulates parameter gradients for dY and returns dX. The
+// caller supplies the forward input (the layer keeps no per-call state,
+// making it safe to reuse across timesteps).
+func (l *Linear) Backward(x, dy []float64) []float64 {
+	dx := make([]float64, l.W.Rows)
+	for j, g := range dy {
+		l.B.AddGrad(0, j, g)
+		for i, xi := range x {
+			l.W.AddGrad(i, j, xi*g)
+			dx[i] += l.W.At(i, j) * g
+		}
+	}
+	return dx
+}
+
+// CheckFinite returns an error if any parameter has gone non-finite —
+// a training-divergence tripwire used by tests and the trainer.
+func CheckFinite(params []*Param) error {
+	for _, p := range params {
+		for i, w := range p.W {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("nn: %s[%d] = %v", p.Name, i, w)
+			}
+		}
+	}
+	return nil
+}

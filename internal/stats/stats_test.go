@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeoMean = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("empty GeoMean = %v", g)
+	}
+	// Non-positive entries are skipped, not poisoning the result.
+	if g := GeoMean([]float64{4, 0, -1}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeoMean with zeros = %v", g)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("empty Mean = %v", m)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile nonzero")
+	}
+	// The input must not be reordered.
+	if xs[0] != 4 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var tb Table
+	tb.Header = []string{"name", "value"}
+	tb.Add("alpha", 12345.0)
+	tb.Add("b", 1)
+	tb.Add("c", uint64(7))
+	tb.Add("d", 3.14159)
+	tb.Add("e", struct{ X int }{1})
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "12345") {
+		t.Fatalf("render missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 { // header + rule + 5 rows
+		t.Fatalf("rows = %d:\n%s", len(lines), out)
+	}
+	// All rows align: the second column starts at the same offset.
+	idx := strings.Index(lines[0], "value")
+	for _, l := range lines[2:] {
+		if len(l) < idx {
+			t.Fatalf("short row %q", l)
+		}
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	var tb Table
+	if tb.String() != "" {
+		t.Fatal("empty table renders content")
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	var tb Table
+	tb.Add(0.0, 5.5, 55.5, 5555.5)
+	out := tb.String()
+	for _, want := range []string{"0", "5.50", "55.5", "5556"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatting missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var tb Table
+	tb.Header = []string{"a", "b"}
+	tb.Add("plain", 1)
+	tb.Add(`quo"te`, "x,y")
+	got := tb.CSV()
+	want := "a,b\nplain,1\n\"quo\"\"te\",\"x,y\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

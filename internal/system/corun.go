@@ -1,0 +1,133 @@
+package system
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cpu"
+	"repro/internal/heap"
+	"repro/internal/mapping"
+	"repro/internal/profile"
+	"repro/internal/workload"
+)
+
+// CoRun executes several workloads concurrently on one machine — each in
+// its own address space, all sharing the memory system and, in the SDAM
+// configurations, the single hardware CMT. This is the paper's co-run
+// scenario: the 256-mapping budget and the chunk pool are machine-global
+// resources the applications divide among themselves (§3 experiment 2,
+// §6.2's cluster-budget discussion).
+//
+// Per-application profiling and selection run exactly as in Run; the
+// Clusters option is the per-application budget.
+func CoRun(ws []workload.Workload, opts Options) (Result, error) {
+	o := opts.withDefaults()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name()
+	}
+	res := Result{Config: o.Kind.String(), Workload: "corun(" + strings.Join(names, "+") + ")"}
+	if len(ws) == 0 {
+		return res, fmt.Errorf("system: co-run of zero workloads")
+	}
+
+	// Per-application offline profiling and selection.
+	type appSel struct {
+		prof profile.Profile
+		sel  *cluster.Selection
+	}
+	sels := make([]appSel, len(ws))
+	var globalMapping mapping.Mapping = mapping.Identity{}
+	if o.Kind.NeedsProfiling() {
+		start := time.Now()
+		var combined mapping.BFRV
+		for i, w := range ws {
+			prof, col, err := Profile(w, o)
+			if err != nil {
+				return res, err
+			}
+			sels[i].prof = prof
+			switch o.Kind {
+			case BSBSM:
+				// One mapping for the whole mix: average the apps'
+				// global flip rates (the workload-mix profiling of §7.3).
+				combined.Add(col.GlobalBFRV())
+			case SDMBSM:
+				s, err := cluster.SelectSingle(prof, o.Geometry)
+				if err != nil {
+					return res, err
+				}
+				sels[i].sel = &s
+			case SDMBSMML:
+				s, err := cluster.SelectKMeans(prof, o.Clusters, o.Geometry)
+				if err != nil {
+					return res, err
+				}
+				sels[i].sel = &s
+			case SDMBSMDL:
+				s, err := cluster.SelectDL(prof, col.Deltas(), o.Clusters, o.Geometry, o.DL)
+				if err != nil {
+					return res, err
+				}
+				sels[i].sel = &s
+			}
+		}
+		if o.Kind == BSBSM {
+			combined.Scale(1 / float64(len(ws)))
+			globalMapping = mapping.FromBFRV(combined, o.Geometry, "BSM-mix")
+		}
+		res.ProfilingTime = time.Since(start)
+	}
+
+	// Boot the shared machine.
+	var m *machine
+	switch o.Kind {
+	case BSDM:
+		m = bootGlobal(o, mapping.Identity{})
+	case BSBSM:
+		m = bootGlobal(o, globalMapping)
+	case BSHM:
+		m = bootGlobal(o, mapping.DefaultXORHash())
+	default:
+		m = bootSDAM(o)
+	}
+
+	// Set each workload up in its own process, installing selections
+	// into the shared CMT (exhausting the 256 slots is a real error the
+	// caller must handle by shrinking Clusters).
+	procs := make([]cpu.Proc, 0, len(ws))
+	for i, w := range ws {
+		as := m.kernel.NewAddressSpace()
+		var policy func(site string) int
+		if sels[i].sel != nil {
+			siteID, err := installSelection(m.kernel, sels[i].prof, sels[i].sel)
+			if err != nil {
+				return res, fmt.Errorf("system: co-run app %s: %w", w.Name(), err)
+			}
+			policy = func(site string) int { return siteID[site] }
+		}
+		env := &workload.Env{AS: as, Heap: heap.New(as), MapIDFor: policy}
+		if err := w.Setup(env); err != nil {
+			return res, fmt.Errorf("system: co-run app %s: %w", w.Name(), err)
+		}
+		procs = append(procs, cpu.Proc{AS: as, Streams: w.Streams(o.EvalSeed + int64(i))})
+	}
+
+	eng := cpu.New(o.Engine, m.ctrl, nil)
+	run, err := eng.RunProcs(procs)
+	if err != nil {
+		return res, fmt.Errorf("system: co-run evaluation: %w", err)
+	}
+	res.Run = run
+	res.HBM = m.dev.Stats()
+	res.MappingsInstalled = m.kernel.Table.LiveMappings()
+	if err := m.dev.CheckConservation(); err != nil {
+		return res, err
+	}
+	if err := m.kernel.Phys.CheckInvariants(); err != nil {
+		return res, err
+	}
+	return res, nil
+}

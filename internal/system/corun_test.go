@@ -1,0 +1,109 @@
+package system
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+func corunPair(t *testing.T) []workload.Workload {
+	t.Helper()
+	a, err := workload.NewProxyByName("mcf", workload.ProxyOptions{Refs: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.NewProxyByName("libquantum", workload.ProxyOptions{Refs: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []workload.Workload{a, b}
+}
+
+func TestCoRunBaseline(t *testing.T) {
+	res, err := CoRun(corunPair(t), Options{Kind: BSDM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.References != 20_000 {
+		t.Fatalf("references = %d", res.Run.References)
+	}
+	if !strings.Contains(res.Workload, "mcf+libquantum") {
+		t.Fatalf("workload label = %q", res.Workload)
+	}
+}
+
+func TestCoRunSharesCMTBudget(t *testing.T) {
+	res, err := CoRun(corunPair(t), Options{Kind: SDMBSMML, Clusters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both applications' mappings live in the one CMT.
+	if res.MappingsInstalled < 1 || res.MappingsInstalled > 9 {
+		t.Fatalf("mappings installed = %d", res.MappingsInstalled)
+	}
+	if res.ProfilingTime <= 0 {
+		t.Fatal("profiling time missing")
+	}
+}
+
+func TestCoRunSDAMDoesNotLose(t *testing.T) {
+	ws := []workload.Workload{
+		workload.NewStrideCopy([]int{32, 32}, 4_000, 8<<20),
+		workload.NewStrideCopy([]int{128, 128}, 4_000, 8<<20),
+	}
+	base, err := CoRun(ws, Options{Kind: BSDM, Engine: cpu.AcceleratorConfig(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdam, err := CoRun(ws, Options{Kind: SDMBSMML, Clusters: 4, Engine: cpu.AcceleratorConfig(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := sdam.SpeedupOver(base); s < 2 {
+		t.Fatalf("co-run SDAM speedup %.2fx on funneled strides, want >2x", s)
+	}
+}
+
+func TestCoRunEmpty(t *testing.T) {
+	if _, err := CoRun(nil, Options{}); err == nil {
+		t.Fatal("empty co-run accepted")
+	}
+}
+
+func TestCoRunGlobalConfigs(t *testing.T) {
+	for _, k := range []Kind{BSBSM, BSHM} {
+		res, err := CoRun(corunPair(t), Options{Kind: k})
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if res.Run.External == 0 {
+			t.Fatalf("%s: no traffic", k)
+		}
+	}
+}
+
+func TestCoRunCMTExhaustion(t *testing.T) {
+	// Many co-running apps, each demanding a big cluster budget: the
+	// shared 256-slot CMT must eventually refuse — surfaced as an error,
+	// not a corruption.
+	var ws []workload.Workload
+	for i := 0; i < 6; i++ {
+		ws = append(ws, workload.NewStrideCopy(
+			[]int{1 << uint(i+1), 1 << uint(i+2), 1 << uint(i+3), 1 << uint(i+4)}, 2_000, 32<<20))
+	}
+	// Install filler mappings so only a handful of slots remain.
+	res, err := CoRun(ws, Options{Kind: SDMBSMML, Clusters: 64})
+	if err == nil {
+		// With dedup the mix may legitimately fit; then the CMT must
+		// still be consistent.
+		if res.MappingsInstalled > 256 {
+			t.Fatalf("mappings installed = %d", res.MappingsInstalled)
+		}
+		return
+	}
+	if !strings.Contains(err.Error(), "mapping") && !strings.Contains(err.Error(), "slots") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
