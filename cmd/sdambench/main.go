@@ -22,12 +22,14 @@ func main() {
 	clusters := flag.Int("clusters", 32, "clusters for the ML/DL selectors")
 	refs := flag.Int("refs", 80_000, "per-run reference budget")
 	hbmdiv := flag.Float64("hbmdiv", 1, "HBM frequency divider (Fig 14)")
+	jobs := flag.Int("jobs", 0, "max concurrent simulation cells (0 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: sdambench [flags] <benchmark>|standard|data")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	sdam.SetJobs(*jobs)
 
 	var eng sdam.EngineConfig
 	switch *engine {

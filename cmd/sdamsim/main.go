@@ -35,12 +35,14 @@ func usage() {
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced fidelity (faster)")
 	csvDir := flag.String("csv", "", "also write each report's table as <dir>/<id>.csv")
+	jobs := flag.Int("jobs", 0, "max concurrent simulation cells (0 = GOMAXPROCS)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
+	sdam.SetJobs(*jobs)
 
 	switch arg := flag.Arg(0); arg {
 	case "list":

@@ -82,6 +82,9 @@ func Identity() Config {
 // replication factor only matters for the area report, not for function.
 type AMU struct {
 	replicas int
+	// compiled memoizes the table-lowered form of each configuration
+	// seen by this bank.
+	compiled map[Config]*Compiled
 	// Lookups counts PA→HA translations performed, for utilization
 	// reports.
 	Lookups uint64
@@ -107,6 +110,79 @@ func (a *AMU) Translate(cfg Config, l geom.LineAddr) geom.LineAddr {
 		out |= (off >> cfg[i] & 1) << i
 	}
 	return geom.Join(l.Chunk(), out)
+}
+
+// loBits splits the 15-bit offset for the compiled form: the low 8 bits
+// index one scatter table, the high 7 bits another.
+const loBits = 8
+
+// Compiled is a Config lowered to two scatter tables so a translation is
+// two loads and an OR instead of a 15-iteration bit loop. It is the
+// software analog of the closed crossbar itself: once the switches are
+// set, the whole word moves in one step. A Compiled is immutable after
+// Compile and safe to share between goroutines.
+type Compiled struct {
+	lo [1 << loBits]uint32
+	hi [1 << (Width - loBits)]uint32
+}
+
+// Compile lowers the configuration. The two tables cost 1.5 KB per
+// distinct mapping — bounded by the CMT's 256 live mappings.
+func (c Config) Compile() *Compiled {
+	var cc Compiled
+	for v := range cc.lo {
+		var out uint32
+		for i := 0; i < Width; i++ {
+			if src := int(c[i]); src < loBits {
+				out |= uint32(v) >> src & 1 << i
+			}
+		}
+		cc.lo[v] = out
+	}
+	for v := range cc.hi {
+		var out uint32
+		for i := 0; i < Width; i++ {
+			if src := int(c[i]); src >= loBits {
+				out |= uint32(v) >> (src - loBits) & 1 << i
+			}
+		}
+		cc.hi[v] = out
+	}
+	return &cc
+}
+
+// Apply translates a 15-bit chunk offset.
+func (cc *Compiled) Apply(off uint32) uint32 {
+	return cc.lo[off&(1<<loBits-1)] | cc.hi[off>>loBits&(1<<(Width-loBits)-1)]
+}
+
+// Translate is the compiled form of AMU.Translate: chunk passes through,
+// the offset moves through the scatter tables.
+func (cc *Compiled) Translate(l geom.LineAddr) geom.LineAddr {
+	return geom.Join(l.Chunk(), cc.Apply(l.Offset()))
+}
+
+// Compiled returns the memoized compiled form of cfg. Each distinct
+// configuration compiles once per AMU bank — the controller's per-chunk
+// cache shares these across all chunks bound to the same mapping. Not
+// safe for concurrent use, like the AMU counters themselves.
+func (a *AMU) Compiled(cfg Config) *Compiled {
+	if cc, ok := a.compiled[cfg]; ok {
+		return cc
+	}
+	if a.compiled == nil {
+		a.compiled = make(map[Config]*Compiled)
+	}
+	cc := cfg.Compile()
+	a.compiled[cfg] = cc
+	return cc
+}
+
+// TranslateCompiled is Translate through a previously compiled
+// configuration, keeping the Lookups accounting.
+func (a *AMU) TranslateCompiled(cc *Compiled, l geom.LineAddr) geom.LineAddr {
+	a.Lookups++
+	return cc.Translate(l)
 }
 
 // Invert applies the inverse transform (HA→PA), used by debug and

@@ -298,9 +298,11 @@ func SelectDL(p profile.Profile, deltas []trace.DeltaSample, k int, g geom.Geome
 			s.VIDs = append(s.VIDs, d.VID)
 			counts[d.VID]++
 		}
+		// Lowest VID wins ties: map iteration order is randomized, and a
+		// random winner would make the whole DL selection nondeterministic.
 		modal, best := -1, 0
 		for vid, n := range counts {
-			if n > best {
+			if n > best || (n == best && vid < modal) {
 				modal, best = vid, n
 			}
 		}

@@ -17,6 +17,7 @@ package cmt
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/amu"
 )
@@ -39,7 +40,12 @@ type Table struct {
 	configs    [MaxMappings]amu.Config // level 2
 	inUse      [MaxMappings]bool
 
+	// gen counts OS-side writes; controller-side caches compare it to
+	// know when their snapshot of the table went stale.
+	gen atomic.Uint64
+
 	// Reads counts controller-side lookups, Writes OS-side updates.
+	// Reads is updated atomically (lookups hold only the read lock).
 	Reads, Writes uint64
 }
 
@@ -74,6 +80,7 @@ func (t *Table) InstallMapping(idx int, cfg amu.Config) error {
 	t.configs[idx] = cfg
 	t.inUse[idx] = true
 	t.Writes++
+	t.gen.Add(1)
 	return nil
 }
 
@@ -91,6 +98,7 @@ func (t *Table) AllocMappingIndex(cfg amu.Config) (int, error) {
 			t.configs[idx] = cfg
 			t.inUse[idx] = true
 			t.Writes++
+			t.gen.Add(1)
 			return idx, nil
 		}
 	}
@@ -111,6 +119,7 @@ func (t *Table) ReleaseMapping(idx int) error {
 		}
 	}
 	t.inUse[idx] = false
+	t.gen.Add(1)
 	return nil
 }
 
@@ -131,8 +140,15 @@ func (t *Table) BindChunk(chunk, idx int) error {
 	}
 	t.chunkToIdx[chunk] = uint8(idx)
 	t.Writes++
+	t.gen.Add(1)
 	return nil
 }
+
+// Generation returns a counter that advances on every OS-side write.
+// Controller-side caches (the memctrl per-chunk compiled-config cache)
+// snapshot it and flush when it moves — the simulator analog of the
+// invalidation an MMIO write would broadcast to the controller.
+func (t *Table) Generation() uint64 { return t.gen.Load() }
 
 // Lookup is the controller-side read path: chunk number in, crossbar
 // configuration out. It performs the two-level indirection of Fig 6.
@@ -142,7 +158,7 @@ func (t *Table) Lookup(chunk int) (amu.Config, error) {
 	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	t.Reads++
+	atomic.AddUint64(&t.Reads, 1)
 	return t.configs[t.chunkToIdx[chunk]], nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/hbm"
 	"repro/internal/mapping"
+	"repro/internal/parallel"
 	"repro/internal/rowguard"
 	"repro/internal/stats"
 	"repro/internal/system"
@@ -92,18 +93,23 @@ func AblClusters(s Scale) (*Report, error) {
 	r.Table.Header = []string{"K", "speedup vs BS+DM", "mappings used"}
 	refs := s.refs(4_000, 20_000)
 	w := workload.NewStrideCopy([]int{1, 32, 1024, 4096}, refs, 512<<20)
-	base, err := system.Run(w, system.Options{Kind: system.BSDM, Engine: cpu.AcceleratorConfig(4)})
+	// Cell 0 is the BS+DM baseline; cells 1.. are the K sweep. Every cell
+	// clones the workload so Setup never races.
+	ks := []int{0, 1, 2, 4, 8}
+	results, err := parallel.Map(ks, func(_ int, k int) (system.Result, error) {
+		o := system.Options{Kind: system.BSDM, Engine: cpu.AcceleratorConfig(4)}
+		if k > 0 {
+			o.Kind, o.Clusters = system.SDMBSMML, k
+		}
+		return system.Run(workload.Clone(w), o)
+	})
 	if err != nil {
 		return nil, err
 	}
+	base := results[0]
 	var speedups []float64
-	for _, k := range []int{1, 2, 4, 8} {
-		res, err := system.Run(w, system.Options{
-			Kind: system.SDMBSMML, Clusters: k, Engine: cpu.AcceleratorConfig(4),
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, k := range ks[1:] {
+		res := results[i+1]
 		sp := res.SpeedupOver(base)
 		used := 0
 		if res.Selection != nil {
@@ -126,19 +132,32 @@ func AblMSHR(s Scale) (*Report, error) {
 	r := &Report{ID: "abl-mshr", Title: "memory-level parallelism: SDAM gain vs outstanding-miss window"}
 	r.Table.Header = []string{"MSHRs", "BS+DM ns", "SDAM ns", "speedup"}
 	opts := apps.Options{MaxRefs: s.refs(15_000, 60_000)}
-	var gains []float64
-	for _, mshrs := range []int{2, 8, 32, 64} {
+	// Flatten (MSHR budget × {baseline, SDAM}) into independent cells,
+	// each with a fresh workload instance.
+	mshrSweep := []int{2, 8, 32, 64}
+	type mshrCell struct {
+		mshrs int
+		sdam  bool
+	}
+	var specs []mshrCell
+	for _, m := range mshrSweep {
+		specs = append(specs, mshrCell{m, false}, mshrCell{m, true})
+	}
+	results, err := parallel.Map(specs, func(_ int, c mshrCell) (system.Result, error) {
 		eng := cpu.AcceleratorConfig(4)
-		eng.MSHRs = mshrs
-		w := apps.NewKMeansApp(opts)
-		base, err := system.Run(w, system.Options{Kind: system.BSDM, Engine: eng})
-		if err != nil {
-			return nil, err
+		eng.MSHRs = c.mshrs
+		o := system.Options{Kind: system.BSDM, Engine: eng}
+		if c.sdam {
+			o.Kind, o.Clusters = system.SDMBSMML, 4
 		}
-		res, err := system.Run(w, system.Options{Kind: system.SDMBSMML, Clusters: 4, Engine: eng})
-		if err != nil {
-			return nil, err
-		}
+		return system.Run(apps.NewKMeansApp(opts), o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var gains []float64
+	for i, mshrs := range mshrSweep {
+		base, res := results[2*i], results[2*i+1]
 		sp := res.SpeedupOver(base)
 		r.Table.Add(mshrs, base.Run.TimeNs, res.Run.TimeNs, sp)
 		gains = append(gains, sp)
@@ -162,27 +181,51 @@ func AblGuard(s Scale) (*Report, error) {
 		func() workload.Workload { return apps.NewSSSP(opts) },
 		func() workload.Workload { return apps.NewKMeansApp(opts) },
 	}
-	var guarded, raw []float64
+	eng := cpu.AcceleratorConfig(4)
+	// The guarded runs (baseline + guarded selection per kernel) are
+	// independent and fan out. The raw runs flip the package-level
+	// cluster.DisableGuard switch, so that toggle happens outside any
+	// parallel region: all raw cells run in a second fan-out bracketed by
+	// the flag writes.
+	type guardCell struct {
+		mk   func() workload.Workload
+		kind system.Kind
+	}
+	var specs []guardCell
 	for _, mk := range builders {
-		w := mk()
-		eng := cpu.AcceleratorConfig(4)
-		base, err := system.Run(w, system.Options{Kind: system.BSDM, Engine: eng})
-		if err != nil {
-			return nil, err
-		}
-		on, err := system.Run(w, system.Options{Kind: system.SDMBSMML, Clusters: 4, Engine: eng})
-		if err != nil {
-			return nil, err
-		}
-		cluster.DisableGuard = true
-		off, errOff := system.Run(w, system.Options{Kind: system.SDMBSMML, Clusters: 4, Engine: eng})
-		cluster.DisableGuard = false
-		if errOff != nil {
-			return nil, errOff
-		}
+		specs = append(specs,
+			guardCell{mk, system.BSDM},
+			guardCell{mk, system.SDMBSMML})
+	}
+	runCells := func(cells []guardCell) ([]system.Result, error) {
+		return parallel.Map(cells, func(_ int, c guardCell) (system.Result, error) {
+			o := system.Options{Kind: c.kind, Engine: eng}
+			if c.kind == system.SDMBSMML {
+				o.Clusters = 4
+			}
+			return system.Run(c.mk(), o)
+		})
+	}
+	guardedRes, err := runCells(specs)
+	if err != nil {
+		return nil, err
+	}
+	var rawSpecs []guardCell
+	for _, mk := range builders {
+		rawSpecs = append(rawSpecs, guardCell{mk, system.SDMBSMML})
+	}
+	cluster.DisableGuard = true
+	rawRes, errRaw := runCells(rawSpecs)
+	cluster.DisableGuard = false
+	if errRaw != nil {
+		return nil, errRaw
+	}
+	var guarded, raw []float64
+	for i, mk := range builders {
+		base, on, off := guardedRes[2*i], guardedRes[2*i+1], rawRes[i]
 		gOn := on.SpeedupOver(base)
 		gOff := off.SpeedupOver(base)
-		r.Table.Add(w.Name(), gOn, gOff)
+		r.Table.Add(mk().Name(), gOn, gOff)
 		guarded = append(guarded, gOn)
 		raw = append(raw, gOff)
 	}
@@ -204,25 +247,40 @@ func AblCoRun(s Scale) (*Report, error) {
 	r.Table.Header = []string{"apps", "mix", "SDAM speedup", "CMT mappings"}
 	refs := s.refs(3_000, 12_000)
 	mixes := [][]int{{32}, {32, 128}, {32, 128, 1024}, {32, 128, 1024, 4096}}
-	var speedups []float64
+	// Flatten (mix × {baseline, SDAM}) into independent co-run cells;
+	// each builds its own workload set.
+	type corunCell struct {
+		strides []int
+		sdam    bool
+	}
+	var specs []corunCell
 	for _, strides := range mixes {
-		ws := make([]workload.Workload, len(strides))
-		labels := make([]string, len(strides))
-		for i, st := range strides {
+		specs = append(specs, corunCell{strides, false}, corunCell{strides, true})
+	}
+	eng := cpu.AcceleratorConfig(4)
+	results, err := parallel.Map(specs, func(_ int, c corunCell) (system.Result, error) {
+		ws := make([]workload.Workload, len(c.strides))
+		for i, st := range c.strides {
 			ws[i] = workload.NewStrideCopy([]int{st, st}, refs, 256<<20)
-			labels[i] = fmt.Sprintf("s%d", st)
 		}
-		eng := cpu.AcceleratorConfig(4)
-		base, err := system.CoRun(ws, system.Options{Kind: system.BSDM, Engine: eng})
-		if err != nil {
-			return nil, err
+		o := system.Options{Kind: system.BSDM, Engine: eng}
+		if c.sdam {
+			o.Kind, o.Clusters = system.SDMBSMML, 4
 		}
-		res, err := system.CoRun(ws, system.Options{Kind: system.SDMBSMML, Clusters: 4, Engine: eng})
-		if err != nil {
-			return nil, err
+		return system.CoRun(ws, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var speedups []float64
+	for i, strides := range mixes {
+		base, res := results[2*i], results[2*i+1]
+		labels := make([]string, len(strides))
+		for j, st := range strides {
+			labels[j] = fmt.Sprintf("s%d", st)
 		}
 		sp := res.SpeedupOver(base)
-		r.Table.Add(len(ws), fmt.Sprint(labels), sp, res.MappingsInstalled)
+		r.Table.Add(len(strides), fmt.Sprint(labels), sp, res.MappingsInstalled)
 		speedups = append(speedups, sp)
 	}
 	r.AddCheck("SDAM keeps winning as the co-run mix grows",

@@ -6,6 +6,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/hbm"
 	"repro/internal/mapping"
+	"repro/internal/parallel"
 )
 
 // chanGeometry builds an 8 GB geometry with the given channel count
@@ -44,30 +45,33 @@ func Fig1(s Scale) (*Report, error) {
 	r := &Report{ID: "fig1", Title: "HBM throughput vs channels (linear) and columns-per-row (sub-linear)"}
 	n := s.refs(20_000, 200_000)
 
-	// Channel sweep: perfect streaming over 1..32 channels.
+	// Channel sweep: perfect streaming over 1..32 channels. Every sweep
+	// point builds its own device, so the points fan out over the worker
+	// pool and the rows are assembled afterwards in sweep order.
 	r.Table.Header = []string{"axis", "point", "throughput GB/s", "scaling vs first"}
-	var first float64
-	var last float64
-	for _, ch := range []int{1, 2, 4, 8, 16, 32} {
+	channels := []int{1, 2, 4, 8, 16, 32}
+	chTp, err := parallel.Map(channels, func(_ int, ch int) (float64, error) {
 		dev := hbm.New(chanGeometry(ch), hbm.DefaultTiming())
 		st := pump(dev, mapping.Identity{}, strideAddrs(n, 1))
 		if err := dev.CheckConservation(); err != nil {
-			return nil, err
+			return 0, err
 		}
-		tp := st.ThroughputGBs()
-		if ch == 1 {
-			first = tp
-		}
-		last = tp
-		r.Table.Add("channels", ch, tp, tp/first)
+		return st.ThroughputGBs(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	first, last := chTp[0], chTp[len(chTp)-1]
+	for i, ch := range channels {
+		r.Table.Add("channels", ch, chTp[i], chTp[i]/first)
 	}
 	r.AddCheck("throughput scales ~linearly with channel count (32ch ≥ 24x of 1ch)",
 		last >= 24*first, fmt.Sprintf("%.1fx", last/first))
 
 	// Column sweep: one channel, 2 banks, consume k of the 4 columns in
 	// each activated row before moving on.
-	var colFirst, colLast float64
-	for k := 1; k <= 4; k++ {
+	colKs := []int{1, 2, 3, 4}
+	colTp, err := parallel.Map(colKs, func(_ int, k int) (float64, error) {
 		dev := hbm.New(geom.Default(), hbm.DefaultTiming())
 		row := 0
 		issued := 0
@@ -78,12 +82,14 @@ func Fig1(s Scale) (*Report, error) {
 			}
 			row++
 		}
-		tp := dev.Stats().ThroughputGBs()
-		if k == 1 {
-			colFirst = tp
-		}
-		colLast = tp
-		r.Table.Add("columns/row", k, tp, tp/colFirst)
+		return dev.Stats().ThroughputGBs(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	colFirst, colLast := colTp[0], colTp[len(colTp)-1]
+	for i, k := range colKs {
+		r.Table.Add("columns/row", k, colTp[i], colTp[i]/colFirst)
 	}
 	r.AddCheck("row-buffer utilization scales sub-linearly (4 cols < 4x of 1 col)",
 		colLast < 4*colFirst && colLast > colFirst,
@@ -144,9 +150,13 @@ func Fig3(s Scale) (*Report, error) {
 	n := s.refs(20_000, 200_000)
 	r.Table.Header = []string{"stride", "GB/s", "channels", "bfrv peak bit"}
 
-	var tp1, tp16 float64
-	var ch32 int
-	for _, stride := range []int{1, 2, 4, 8, 16, 32} {
+	strides := []int{1, 2, 4, 8, 16, 32}
+	type fig3Cell struct {
+		tp   float64
+		used int
+		peak int
+	}
+	cells, err := parallel.Map(strides, func(_ int, stride int) (fig3Cell, error) {
 		dev := hbm.New(geom.Default(), hbm.DefaultTiming())
 		addrs := strideAddrs(n, stride)
 		st := pump(dev, mapping.Identity{}, addrs)
@@ -157,16 +167,24 @@ func Fig3(s Scale) (*Report, error) {
 				peak = b
 			}
 		}
-		tp := st.ThroughputGBs()
+		return fig3Cell{tp: st.ThroughputGBs(), used: st.ChannelsUsed(), peak: peak}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tp1, tp16 float64
+	var ch32 int
+	for i, stride := range strides {
+		c := cells[i]
 		switch stride {
 		case 1:
-			tp1 = tp
+			tp1 = c.tp
 		case 16:
-			tp16 = tp
+			tp16 = c.tp
 		case 32:
-			ch32 = st.ChannelsUsed()
+			ch32 = c.used
 		}
-		r.Table.Add(stride, tp, st.ChannelsUsed(), peak)
+		r.Table.Add(stride, c.tp, c.used, c.peak)
 	}
 	r.AddCheck("throughput drops sharply (~20x in the paper) from stride 1 to 16",
 		tp1/tp16 >= 10, fmt.Sprintf("%.1fx", tp1/tp16))
@@ -185,8 +203,11 @@ func Fig4(s Scale) (*Report, error) {
 	strides := []int{1, 16, 4, 64} // experiment 1's four patterns
 	r.Table.Header = []string{"#strides", "single GB/s", "multi GB/s", "multi/single"}
 
-	var firstRatio, lastRatio float64
-	for k := 1; k <= 4; k++ {
+	type fig4Cell struct {
+		single, multi float64
+	}
+	ks := []int{1, 2, 3, 4}
+	cells, err := parallel.Map(ks, func(_ int, k int) (fig4Cell, error) {
 		mix := strides[:k]
 		// Build the interleaved trace: each pattern stays in its own
 		// address region (distinct chunks), round-robin issue.
@@ -230,12 +251,20 @@ func Fig4(s Scale) (*Report, error) {
 		}
 		tpMulti := dev2.Stats().ThroughputGBs()
 
-		ratio := tpMulti / tpSingle
+		return fig4Cell{single: tpSingle, multi: tpMulti}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var firstRatio, lastRatio float64
+	for i, k := range ks {
+		c := cells[i]
+		ratio := c.multi / c.single
 		if k == 1 {
 			firstRatio = ratio
 		}
 		lastRatio = ratio
-		r.Table.Add(k, tpSingle, tpMulti, ratio)
+		r.Table.Add(k, c.single, c.multi, ratio)
 	}
 	r.AddCheck("with one pattern, global ≈ per-pattern mapping",
 		firstRatio > 0.95 && firstRatio < 1.05, fmt.Sprintf("ratio %.2f", firstRatio))

@@ -6,6 +6,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/cluster"
 	"repro/internal/cpu"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/system"
 	"repro/internal/workload"
@@ -96,30 +97,60 @@ func dataApps(s Scale) []workload.Workload {
 // speedupSweep runs every workload under the baseline plus each config
 // and fills the report table with speedups over BS+DM. It returns the
 // per-config speedup lists.
+//
+// The (workload × configuration) cells are independent — each clones
+// its workload and builds its own machine — so they fan out over the
+// parallel worker pool; rows are assembled afterwards in input order,
+// keeping the table and the per-config lists bit-identical to a serial
+// sweep.
 func speedupSweep(r *Report, ws []workload.Workload, cfgs []sdamConfig, engine cpu.Config, s Scale) (map[string][]float64, error) {
 	header := []string{"benchmark"}
 	for _, c := range cfgs {
 		header = append(header, c.label)
 	}
 	r.Table.Header = header
-	per := make(map[string][]float64)
-	for _, w := range ws {
-		base, err := system.Run(w, system.Options{Kind: system.BSDM, Engine: engine})
-		if err != nil {
-			return nil, fmt.Errorf("%s baseline: %w", w.Name(), err)
+
+	// Cell ci == -1 is the workload's BS+DM baseline.
+	type cellSpec struct{ wi, ci int }
+	stride := len(cfgs) + 1
+	cells := make([]cellSpec, 0, len(ws)*stride)
+	for wi := range ws {
+		cells = append(cells, cellSpec{wi, -1})
+		for ci := range cfgs {
+			cells = append(cells, cellSpec{wi, ci})
 		}
-		row := []interface{}{w.Name()}
-		for _, c := range cfgs {
-			res, err := system.Run(w, system.Options{
-				Kind:     c.kind,
-				Clusters: c.clusters,
-				Engine:   engine,
-				DL:       dlBudget(s),
-			})
+	}
+	results, err := parallel.Map(cells, func(_ int, c cellSpec) (system.Result, error) {
+		w := workload.Clone(ws[c.wi])
+		if c.ci < 0 {
+			res, err := system.Run(w, system.Options{Kind: system.BSDM, Engine: engine})
 			if err != nil {
-				return nil, fmt.Errorf("%s %s: %w", w.Name(), c.label, err)
+				return res, fmt.Errorf("%s baseline: %w", w.Name(), err)
 			}
-			sp := res.SpeedupOver(base)
+			return res, nil
+		}
+		cfg := cfgs[c.ci]
+		res, err := system.Run(w, system.Options{
+			Kind:     cfg.kind,
+			Clusters: cfg.clusters,
+			Engine:   engine,
+			DL:       dlBudget(s),
+		})
+		if err != nil {
+			return res, fmt.Errorf("%s %s: %w", w.Name(), cfg.label, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	per := make(map[string][]float64)
+	for wi, w := range ws {
+		base := results[wi*stride]
+		row := []interface{}{w.Name()}
+		for ci, c := range cfgs {
+			sp := results[wi*stride+1+ci].SpeedupOver(base)
 			row = append(row, sp)
 			per[c.label] = append(per[c.label], sp)
 		}
@@ -222,24 +253,36 @@ func Fig14(s Scale) (*Report, error) {
 	slowCore := cpu.CPUConfig(4)
 	slowCore.ComputeNs = 12
 
+	// Every (point × workload × {baseline, SDAM}) cell is independent;
+	// fan them out and reduce to per-point geomeans in sweep order.
 	sweep := func(axis string, points []float64, opt func(*system.Options, float64)) ([]float64, error) {
+		type cellSpec struct {
+			pi, wi int
+			sdam   bool
+		}
+		cells := make([]cellSpec, 0, len(points)*len(ws)*2)
+		for pi := range points {
+			for wi := range ws {
+				cells = append(cells, cellSpec{pi, wi, false}, cellSpec{pi, wi, true})
+			}
+		}
+		results, err := parallel.Map(cells, func(_ int, c cellSpec) (system.Result, error) {
+			o := system.Options{Kind: system.BSDM, Engine: slowCore}
+			if c.sdam {
+				o = system.Options{Kind: system.SDMBSMML, Clusters: 32, Engine: slowCore}
+			}
+			opt(&o, points[c.pi])
+			return system.Run(workload.Clone(ws[c.wi]), o)
+		})
+		if err != nil {
+			return nil, err
+		}
 		out := make([]float64, 0, len(points))
-		for _, p := range points {
+		for pi, p := range points {
 			var sps []float64
-			for _, w := range ws {
-				baseOpt := system.Options{Kind: system.BSDM, Engine: slowCore}
-				sdamOpt := system.Options{Kind: system.SDMBSMML, Clusters: 32, Engine: slowCore}
-				opt(&baseOpt, p)
-				opt(&sdamOpt, p)
-				base, err := system.Run(w, baseOpt)
-				if err != nil {
-					return nil, err
-				}
-				res, err := system.Run(w, sdamOpt)
-				if err != nil {
-					return nil, err
-				}
-				sps = append(sps, res.SpeedupOver(base))
+			for wi := range ws {
+				i := (pi*len(ws) + wi) * 2
+				sps = append(sps, results[i+1].SpeedupOver(results[i]))
 			}
 			g := stats.GeoMean(sps)
 			r.Table.Add(axis, p, g)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/hbm"
 	"repro/internal/mapping"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/system"
 	"repro/internal/workload"
@@ -32,26 +33,43 @@ func Fig11(s Scale) (*Report, error) {
 	r.Table.Header = []string{"#strides", "config", "norm. throughput", "CLP util"}
 
 	peak := hbm.New(geom.Default(), hbm.DefaultTiming()).PeakGBs()
-	norm := make(map[string][]float64)
+	// Flatten the (stride diversity × configuration) matrix into
+	// independent cells; each builds its own workload and machine.
+	type fig11Cell struct {
+		k    int
+		kind system.Kind
+	}
+	var specs []fig11Cell
 	for k := 1; k <= 4; k++ {
+		for _, kind := range kinds {
+			specs = append(specs, fig11Cell{k: k, kind: kind})
+		}
+	}
+	results, err := parallel.Map(specs, func(_ int, c fig11Cell) (system.Result, error) {
 		strides := make([]int, 4)
 		for t := range strides {
-			strides[t] = fig11Strides[t%k]
+			strides[t] = fig11Strides[t%c.k]
 		}
 		w := workload.NewStrideCopy(strides, refs, 64<<20)
-		for _, kind := range kinds {
-			res, err := system.Run(w, system.Options{
-				Kind:     kind,
-				Clusters: 4,
-				Engine:   cpu.AcceleratorConfig(4),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig11 k=%d %s: %w", k, kind, err)
-			}
-			tp := float64(res.HBM.Bytes) / res.Run.TimeNs / peak
-			r.Table.Add(k, kind.String(), tp, res.HBM.CLPUtilization())
-			norm[kind.String()] = append(norm[kind.String()], tp)
+		res, err := system.Run(w, system.Options{
+			Kind:     c.kind,
+			Clusters: 4,
+			Engine:   cpu.AcceleratorConfig(4),
+		})
+		if err != nil {
+			return res, fmt.Errorf("fig11 k=%d %s: %w", c.k, c.kind, err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	norm := make(map[string][]float64)
+	for i, c := range specs {
+		res := results[i]
+		tp := float64(res.HBM.Bytes) / res.Run.TimeNs / peak
+		r.Table.Add(c.k, c.kind.String(), tp, res.HBM.CLPUtilization())
+		norm[c.kind.String()] = append(norm[c.kind.String()], tp)
 	}
 
 	// Shape claims from Fig 11(a).
@@ -82,10 +100,12 @@ func Fig11(s Scale) (*Report, error) {
 	}
 	globalBSM := mapping.FromBFRV(mapping.ComputeBFRV(allAddrs), geom.Default(), "BSM-mix")
 	utils := func(m func(stride int) mapping.Mapping) []float64 {
-		out := make([]float64, 64)
-		for st := 1; st <= 64; st++ {
+		out, uerr := parallel.Map(perStride, func(i int, addrs []geom.LineAddr) (float64, error) {
 			dev := hbm.New(geom.Default(), hbm.DefaultTiming())
-			out[st-1] = pump(dev, m(st), perStride[st-1]).CLPUtilization()
+			return pump(dev, m(i+1), addrs).CLPUtilization(), nil
+		})
+		if uerr != nil {
+			panic(uerr) // unreachable: the cell function never errors
 		}
 		return out
 	}

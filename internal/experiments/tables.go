@@ -14,6 +14,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/memctrl"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -56,11 +57,20 @@ func Table1(s Scale) (*Report, error) {
 	}
 	okMajors := 0
 	okCoverage := 0
-	for _, t := range targets {
+	// One independent profiling run per proxy: fan out, then fill the
+	// table rows in Table 1 order.
+	profs, err := parallel.Map(targets, func(_ int, t workload.Table1Target) (profile.Profile, error) {
 		prof, _, err := profileProxy(t.Name, refs)
 		if err != nil {
-			return nil, fmt.Errorf("table1 %s: %w", t.Name, err)
+			return prof, fmt.Errorf("table1 %s: %w", t.Name, err)
 		}
+		return prof, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range targets {
+		prof := profs[i]
 		row := prof.Table1()
 		cov := prof.MajorCoverage()
 		r.Table.Add(t.Name, t.NumVars, row.NumMajor, t.NumMajor, row.AvgMajorMB, t.AvgMajorMB*0.125, cov)
@@ -94,30 +104,46 @@ func Fig13(s Scale) (*Report, error) {
 	refs := s.refs(20_000, 80_000)
 	dl := dlBudget(s)
 
-	var mlTotal, dlTotal time.Duration
-	for _, name := range names {
+	// Each app is an independent cell; within a cell the four selector
+	// runs stay serial so the measured ML-vs-DL wall-clock ratio is not
+	// distorted by self-contention.
+	type fig13Row struct {
+		times  []float64
+		ml, dl time.Duration
+	}
+	rows, err := parallel.Map(names, func(_ int, name string) (fig13Row, error) {
+		var row fig13Row
 		prof, col, err := profileProxy(name, refs)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
-		times := make([]float64, 0, 4)
 		for _, k := range []int{4, 32} {
 			sel, err := cluster.SelectKMeans(prof, k, geom.Default())
 			if err != nil {
-				return nil, err
+				return row, err
 			}
-			mlTotal += sel.ProfilingTime
-			times = append(times, float64(sel.ProfilingTime.Microseconds())/1000)
+			row.ml += sel.ProfilingTime
+			row.times = append(row.times, float64(sel.ProfilingTime.Microseconds())/1000)
 		}
 		for _, k := range []int{4, 32} {
 			sel, err := cluster.SelectDL(prof, col.Deltas(), k, geom.Default(), dl)
 			if err != nil {
-				return nil, err
+				return row, err
 			}
-			dlTotal += sel.ProfilingTime
-			times = append(times, float64(sel.ProfilingTime.Microseconds())/1000)
+			row.dl += sel.ProfilingTime
+			row.times = append(row.times, float64(sel.ProfilingTime.Microseconds())/1000)
 		}
-		r.Table.Add(name, times[0], times[1], times[2], times[3])
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var mlTotal, dlTotal time.Duration
+	for i, name := range names {
+		row := rows[i]
+		mlTotal += row.ml
+		dlTotal += row.dl
+		r.Table.Add(name, row.times[0], row.times[1], row.times[2], row.times[3])
 	}
 	r.AddCheck("DL-assisted selection costs far more than K-Means (paper: ~26min vs ~0.3-2min)",
 		dlTotal > 5*mlTotal, fmt.Sprintf("DL %.1fms vs ML %.1fms total", float64(dlTotal.Microseconds())/1000, float64(mlTotal.Microseconds())/1000))

@@ -33,6 +33,15 @@ type Controller struct {
 	table  *cmt.Table
 	amu    *amu.AMU
 
+	// chunkCfg memoizes each chunk's compiled crossbar configuration so
+	// the steady-state translation is two table loads instead of a CMT
+	// lock round-trip plus a per-bit shuffle loop. cachedGen is the CMT
+	// generation the cache was filled against; any OS-side table write
+	// advances the generation and flushes the cache on the next access
+	// (the invalidation a real MMIO write would broadcast).
+	chunkCfg  []*amu.Compiled
+	cachedGen uint64
+
 	// cmtPenalty is the extra lookup latency added per access in SDAM
 	// mode. The paper's CMT is a 6 ns SRAM read that proceeds in
 	// parallel with the controller front end (80 ns in the device
@@ -56,7 +65,12 @@ func NewSDAM(dev *hbm.Device, table *cmt.Table, unit *amu.AMU) *Controller {
 	if table == nil || unit == nil {
 		panic("memctrl: SDAM controller requires a CMT and an AMU")
 	}
-	return &Controller{dev: dev, table: table, amu: unit, cmtPenalty: 0}
+	return &Controller{
+		dev: dev, table: table, amu: unit,
+		chunkCfg:  make([]*amu.Compiled, table.Chunks()),
+		cachedGen: table.Generation(),
+		cmtPenalty: 0,
+	}
 }
 
 // Device exposes the underlying HBM device for statistics.
@@ -73,16 +87,40 @@ func (c *Controller) Table() *cmt.Table { return c.table }
 func (c *Controller) Access(at float64, l geom.LineAddr) (float64, error) {
 	var ha geom.LineAddr
 	if c.table != nil {
-		cfg, err := c.table.Lookup(l.Chunk())
+		cc, err := c.resolve(l.Chunk())
 		if err != nil {
 			return 0, fmt.Errorf("memctrl: %w", err)
 		}
-		ha = c.amu.Translate(cfg, l)
+		ha = c.amu.TranslateCompiled(cc, l)
 		at += c.cmtPenalty
 	} else {
 		ha = mapping.Map(c.global, l)
 	}
 	return c.dev.Access(at, c.dev.Geometry().Decode(ha)), nil
+}
+
+// resolve returns the chunk's compiled crossbar configuration, filling
+// the per-chunk cache on a miss and flushing it when the CMT has been
+// written since the last fill.
+func (c *Controller) resolve(chunk int) (*amu.Compiled, error) {
+	if gen := c.table.Generation(); gen != c.cachedGen {
+		clear(c.chunkCfg)
+		c.cachedGen = gen
+	}
+	if chunk >= 0 && chunk < len(c.chunkCfg) {
+		if cc := c.chunkCfg[chunk]; cc != nil {
+			return cc, nil
+		}
+	}
+	cfg, err := c.table.Lookup(chunk)
+	if err != nil {
+		return nil, err
+	}
+	cc := c.amu.Compiled(cfg)
+	if chunk >= 0 && chunk < len(c.chunkCfg) {
+		c.chunkCfg[chunk] = cc
+	}
+	return cc, nil
 }
 
 // MustAccess is Access for callers that have already validated the

@@ -1,0 +1,99 @@
+// Package parallel is the bounded-concurrency execution layer for the
+// simulator's embarrassingly-parallel work: every (workload ×
+// configuration × sweep-point) cell of the experiment harness builds its
+// own machine and seeded RNGs, so cells can fan out across host cores
+// while the simulated results stay bit-identical to a serial run.
+//
+// The package exposes one primitive, Map: an ordered fan-out over a
+// slice. Results come back indexed exactly like the inputs, failures
+// never abort the remaining items (partial results survive in stable
+// order), and the worker budget defaults to GOMAXPROCS — overridable
+// process-wide with SetJobs (the cmd drivers' -jobs flag) or per call
+// with MapN.
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// jobs holds the process-wide worker budget; zero means GOMAXPROCS.
+var jobs atomic.Int64
+
+// Jobs returns the current process-wide worker budget.
+func Jobs() int {
+	if n := int(jobs.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetJobs sets the process-wide worker budget and returns the previous
+// value. n <= 0 resets to the GOMAXPROCS default.
+func SetJobs(n int) int {
+	prev := Jobs()
+	if n < 0 {
+		n = 0
+	}
+	jobs.Store(int64(n))
+	return prev
+}
+
+// Map applies fn to every item with at most Jobs() concurrent workers
+// and returns the results in input order. See MapN.
+func Map[T, R any](items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	return MapN(Jobs(), items, fn)
+}
+
+// MapN is Map with an explicit worker budget. Every item is attempted
+// even when earlier items fail: the result slice always has len(items)
+// entries, holding the zero R at failed indices, and the returned error
+// joins the per-item errors in index order. jobs <= 1 (or a single
+// item) runs fully serially on the calling goroutine, which the
+// determinism tests use as the reference execution.
+func MapN[T, R any](jobs int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out, nil
+	}
+	errs := make([]error, len(items))
+	if jobs > len(items) {
+		jobs = len(items)
+	}
+	if jobs <= 1 {
+		for i, it := range items {
+			out[i], errs[i] = fn(i, it)
+		}
+		return out, errors.Join(errs...)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				out[i], errs[i] = fn(i, items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// Do runs the thunks with at most Jobs() concurrent workers, returning
+// the joined errors. It is Map for work that only side-effects its own
+// captures.
+func Do(thunks ...func() error) error {
+	_, err := Map(thunks, func(_ int, t func() error) (struct{}, error) {
+		return struct{}{}, t()
+	})
+	return err
+}

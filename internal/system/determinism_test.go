@@ -1,0 +1,138 @@
+package system
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cpu"
+	"repro/internal/parallel"
+	"repro/internal/workload"
+)
+
+// normalizeWallClock zeroes the only non-deterministic fields in a
+// Result: the wall-clock selection timings. Everything else — simulated
+// time, HBM stats, profiles, selected mappings — must be bit-identical
+// across serial and parallel execution.
+func normalizeWallClock(rs []Result) {
+	for i := range rs {
+		rs[i].ProfilingTime = 0
+		if rs[i].Selection != nil {
+			s := *rs[i].Selection
+			s.ProfilingTime = 0
+			rs[i].Selection = &s
+		}
+	}
+}
+
+// TestCompareDeterministicUnderParallelism is the regression test for
+// the parallel sweep harness: Compare with jobs=1 (the serial reference
+// path in parallel.MapN) and with a parallel worker pool must produce
+// identical Results for identical seeds, in the same order.
+func TestCompareDeterministicUnderParallelism(t *testing.T) {
+	kinds := []Kind{BSDM, BSBSM, BSHM, SDMBSM, SDMBSMML}
+	workloads := []struct {
+		name string
+		mk   func() workload.Workload
+	}{
+		{"stridecopy", func() workload.Workload { return strideWorkload([]int{1, 32, 1024, 4096}) }},
+		{"kmeans", func() workload.Workload { return apps.NewKMeansApp(apps.Options{MaxRefs: 6_000}) }},
+	}
+	for _, wl := range workloads {
+		t.Run(wl.name, func(t *testing.T) {
+			opts := Options{Clusters: 4}
+
+			prev := parallel.SetJobs(1)
+			serial, err := Compare(wl.mk(), opts, kinds)
+			parallel.SetJobs(prev)
+			if err != nil {
+				t.Fatalf("serial Compare: %v", err)
+			}
+
+			prev = parallel.SetJobs(4)
+			par, err := Compare(wl.mk(), opts, kinds)
+			parallel.SetJobs(prev)
+			if err != nil {
+				t.Fatalf("parallel Compare: %v", err)
+			}
+
+			if len(serial) != len(par) {
+				t.Fatalf("result count: serial %d, parallel %d", len(serial), len(par))
+			}
+			normalizeWallClock(serial)
+			normalizeWallClock(par)
+			for i := range serial {
+				if serial[i].Config != kinds[i].String() {
+					t.Errorf("result %d out of order: %s, want %s", i, serial[i].Config, kinds[i])
+				}
+				if !reflect.DeepEqual(serial[i], par[i]) {
+					t.Errorf("%s: parallel result diverges from serial\nserial:   %+v\nparallel: %+v",
+						kinds[i], summarize(serial[i]), summarize(par[i]))
+				}
+			}
+		})
+	}
+}
+
+// summarize keeps divergence dumps readable.
+func summarize(r Result) map[string]any {
+	return map[string]any{
+		"TimeNs":   r.Run.TimeNs,
+		"External": r.Run.External,
+		"HBM":      r.HBM,
+		"Mappings": r.MappingsInstalled,
+	}
+}
+
+// failOnProfile is a workload whose setup succeeds on the baseline
+// machines but fails when the run is a profiling pass consumer — it
+// fails on every Setup after the first per instance. Cloned per
+// configuration, that means: BSDM and BSHM run one setup (succeed);
+// kinds that profile run two setups (profiling + evaluation) and fail
+// on the second.
+type failOnProfile struct {
+	inner  workload.Workload
+	setups int
+}
+
+func (f *failOnProfile) Name() string { return "failer" }
+func (f *failOnProfile) Clone() workload.Workload {
+	return &failOnProfile{inner: workload.Clone(f.inner)}
+}
+func (f *failOnProfile) Setup(env *workload.Env) error {
+	f.setups++
+	if f.setups > 1 {
+		return errors.New("synthetic second-setup failure")
+	}
+	return f.inner.Setup(env)
+}
+func (f *failOnProfile) Streams(seed int64) []cpu.Stream { return f.inner.Streams(seed) }
+
+// TestCompareNamesFailingConfig exercises the error contract: every
+// failing configuration is reported by name, and the surviving
+// configurations' results still come back at their stable positions.
+func TestCompareNamesFailingConfig(t *testing.T) {
+	w := &failOnProfile{inner: strideWorkload([]int{1, 1, 1, 1})}
+	kinds := []Kind{BSDM, SDMBSM, BSHM}
+	res, err := Compare(w, Options{}, kinds)
+	if err == nil {
+		t.Fatal("want error from the profiling configuration")
+	}
+	if !strings.Contains(err.Error(), "SDM+BSM") || !strings.Contains(err.Error(), "failer") {
+		t.Fatalf("error does not name the failing config and workload: %v", err)
+	}
+	if strings.Contains(err.Error(), "BS+DM on") || strings.Contains(err.Error(), "BS+HM on") {
+		t.Fatalf("error blames a configuration that succeeded: %v", err)
+	}
+	if len(res) != len(kinds) {
+		t.Fatalf("partial results: %d, want %d", len(res), len(kinds))
+	}
+	if res[0].Run.External == 0 || res[2].Run.External == 0 {
+		t.Fatal("surviving configurations lost their results")
+	}
+	if res[0].Config != "BS+DM" || res[2].Config != "BS+HM" {
+		t.Fatalf("stable order violated: %s, %s", res[0].Config, res[2].Config)
+	}
+}

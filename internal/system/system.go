@@ -29,6 +29,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/mapping"
 	"repro/internal/memctrl"
+	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -309,16 +310,34 @@ func installSelection(k *vm.Kernel, prof profile.Profile, sel *cluster.Selection
 
 // Compare runs the workload under every configuration in kinds and
 // returns results in order, all sharing the same seeds and engine.
+//
+// The configurations are independent — each builds its own machine and
+// seeded RNGs — so they fan out over the parallel worker pool when the
+// workload supports cloning (every built-in workload does); a workload
+// without Clone runs serially. The simulated results are bit-identical
+// either way. On failure the error names every configuration that
+// failed, and the returned slice still has len(kinds) entries with the
+// surviving configurations' results at their stable positions (failed
+// slots hold the partially filled Result of that run).
 func Compare(w workload.Workload, base Options, kinds []Kind) ([]Result, error) {
-	out := make([]Result, 0, len(kinds))
-	for _, k := range kinds {
+	jobs := parallel.Jobs()
+	_, cloneable := w.(workload.Cloner)
+	if !cloneable {
+		// Setup mutates the workload, so a shared instance must run one
+		// configuration at a time.
+		jobs = 1
+	}
+	return parallel.MapN(jobs, kinds, func(_ int, k Kind) (Result, error) {
 		o := base
 		o.Kind = k
-		r, err := Run(w, o)
-		if err != nil {
-			return out, fmt.Errorf("system: %s on %s: %w", k, w.Name(), err)
+		wk := w
+		if cloneable {
+			wk = workload.Clone(w)
 		}
-		out = append(out, r)
-	}
-	return out, nil
+		r, err := Run(wk, o)
+		if err != nil {
+			return r, fmt.Errorf("system: %s on %s: %w", k, w.Name(), err)
+		}
+		return r, nil
+	})
 }

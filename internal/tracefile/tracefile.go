@@ -139,6 +139,10 @@ type replay struct {
 // Name implements workload.Workload.
 func (r *replay) Name() string { return r.file.Name + "-trace" }
 
+// Clone implements workload.Cloner: the trace itself is read-only after
+// Load, so clones share it and only carry their own allocation bases.
+func (r *replay) Clone() workload.Workload { return &replay{file: r.file} }
+
 // Setup implements workload.Workload.
 func (r *replay) Setup(env *workload.Env) error {
 	r.bases = r.bases[:0]

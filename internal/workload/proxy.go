@@ -124,6 +124,10 @@ func NewProxyByName(name string, opts ProxyOptions) (*Proxy, error) {
 // Name implements Workload.
 func (p *Proxy) Name() string { return p.target.Name }
 
+// Clone implements Cloner: a fresh proxy with the same Table 1 target
+// and options, ready for an independent Setup.
+func (p *Proxy) Clone() Workload { return NewProxy(p.target, p.opts) }
+
 // Target returns the Table 1 row parameterizing this proxy.
 func (p *Proxy) Target() Table1Target { return p.target }
 
@@ -255,6 +259,11 @@ func NewStrideCopy(strides []int, perCopy int, bytes uint64) *StrideCopy {
 
 // Name implements Workload.
 func (s *StrideCopy) Name() string { return fmt.Sprintf("stridecopy-%v", s.Strides) }
+
+// Clone implements Cloner.
+func (s *StrideCopy) Clone() Workload {
+	return NewStrideCopy(append([]int(nil), s.Strides...), s.PerCopy, s.Bytes)
+}
 
 // Setup implements Workload: one source buffer per thread, each its own
 // variable (so SDAM can give each stride its own mapping).

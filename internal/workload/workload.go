@@ -70,6 +70,24 @@ type Workload interface {
 	Streams(seed int64) []cpu.Stream
 }
 
+// Cloner is implemented by workloads that can produce a fresh,
+// independent instance with the same parameters. Setup mutates a
+// workload (it records the run's allocations), so concurrent runs of
+// the same benchmark — the parallel sweep cells of system.Compare and
+// the experiment harness — each need their own clone.
+type Cloner interface {
+	Clone() Workload
+}
+
+// Clone returns an independent instance of w when it supports cloning,
+// and w itself otherwise (callers fall back to serial execution then).
+func Clone(w Workload) Workload {
+	if c, ok := w.(Cloner); ok {
+		return c.Clone()
+	}
+	return w
+}
+
 // Pattern generates a variable's access-offset sequence.
 type Pattern interface {
 	// NewState creates a stateful offset generator over a variable of

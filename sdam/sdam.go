@@ -31,6 +31,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/geom"
 	"repro/internal/hbm"
+	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/system"
 	"repro/internal/trace"
@@ -96,6 +97,16 @@ func RunBenchmark(w Workload, opts Options) (Result, error) { return system.Run(
 func Compare(w Workload, base Options, kinds []Kind) ([]Result, error) {
 	return system.Compare(w, base, kinds)
 }
+
+// SetJobs caps how many simulation cells (workload × configuration ×
+// sweep-point) run concurrently in Compare and the experiment sweeps,
+// returning the previous cap. n <= 0 restores the default, GOMAXPROCS.
+// Simulated results are bit-identical at any job count; only wall-clock
+// time changes.
+func SetJobs(n int) int { return parallel.SetJobs(n) }
+
+// Jobs reports the current concurrency cap.
+func Jobs() int { return parallel.Jobs() }
 
 // CoRun executes several workloads concurrently on one machine, each in
 // its own address space, sharing the memory system and (under SDAM) the
