@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/sdam"
@@ -123,7 +124,13 @@ func printSelection(label string, sel sdam.Selection, prof sdam.Profile) {
 	for _, v := range prof.Vars {
 		site[v.VID] = v.Site
 	}
-	for vid, m := range sel.VarMapping {
+	vids := make([]int, 0, len(sel.VarMapping))
+	for vid := range sel.VarMapping {
+		vids = append(vids, vid)
+	}
+	sort.Ints(vids)
+	for _, vid := range vids {
+		m := sel.VarMapping[vid]
 		fmt.Printf("  %-28s cluster %d  %-12s perm %v\n", site[vid], sel.VarCluster[vid], m.Name(), m.Perm())
 	}
 }

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicMix implements sdamvet/atomicmix: a struct field accessed
+// through sync/atomic in one place and by plain read/write elsewhere —
+// the cmt.Table.Reads bug class from PR 1, where lookups incremented a
+// counter under an RLock (a data race between concurrent readers) while
+// the increment site looked correct in isolation.
+//
+// Mixing disciplines is what the race detector cannot always catch
+// (the plain access may be in a code path a given test never overlaps
+// with the atomic one), so the analyzer treats the field's FIRST atomic
+// use as a declaration of intent: from then on, every access anywhere
+// in the analyzed tree must be atomic too. Fields typed as
+// sync/atomic values (atomic.Uint64 …) are inherently safe and skipped.
+//
+// Because every analyzed package shares one Loader (one type universe),
+// the atomic site and the plain site may live in different packages and
+// still be correlated.
+type atomicMix struct {
+	fields map[*types.Var]*fieldUses
+	order  []*types.Var // first-seen order, deterministic across runs
+}
+
+type fieldUses struct {
+	atomic []token.Position
+	plain  []token.Position
+}
+
+func newAtomicMix() *atomicMix {
+	return &atomicMix{fields: make(map[*types.Var]*fieldUses)}
+}
+
+func (a *atomicMix) Rule() string { return "atomicmix" }
+
+func (a *atomicMix) Doc() string {
+	return "struct field accessed both through sync/atomic and by plain read/write"
+}
+
+func (a *atomicMix) Check(p *Pass) {
+	pkg := p.Pkg
+	for _, f := range pkg.Files {
+		// Pass 1: find field selectors whose address feeds a sync/atomic
+		// call — those are the atomic accesses.
+		atomicSels := make(map[*ast.SelectorExpr]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pkg, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+					if fv := fieldOf(pkg, sel); fv != nil {
+						atomicSels[sel] = true
+						a.use(fv).atomic = append(a.use(fv).atomic, pkg.Fset.Position(sel.Pos()))
+					}
+				}
+			}
+			return true
+		})
+		// Pass 2: every other selector of the same fields is a plain
+		// access.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSels[sel] {
+				return true
+			}
+			fv := fieldOf(pkg, sel)
+			if fv == nil || isAtomicValueType(fv.Type()) {
+				return true
+			}
+			a.use(fv).plain = append(a.use(fv).plain, pkg.Fset.Position(sel.Pos()))
+			return true
+		})
+	}
+}
+
+func (a *atomicMix) use(fv *types.Var) *fieldUses {
+	u, ok := a.fields[fv]
+	if !ok {
+		u = &fieldUses{}
+		a.fields[fv] = u
+		a.order = append(a.order, fv)
+	}
+	return u
+}
+
+func (a *atomicMix) Diagnostics() []Diagnostic {
+	var diags []Diagnostic
+	for _, fv := range a.order {
+		u := a.fields[fv]
+		if len(u.atomic) == 0 || len(u.plain) == 0 {
+			continue
+		}
+		at := u.atomic[0]
+		for _, pos := range u.plain {
+			diags = append(diags, Diagnostic{
+				Pos:  pos,
+				Rule: "atomicmix",
+				Message: fmt.Sprintf("field %s is accessed atomically at %s:%d but plainly here (the cmt.Table.Reads race class); make every access atomic or guard all of them with the same mutex",
+					fieldName(fv), at.Filename, at.Line),
+			})
+		}
+	}
+	return diags
+}
+
+// fieldOf resolves a selector to the struct field it names, or nil.
+func fieldOf(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	// Qualified references (pkg.Var) resolve through Uses, not
+	// Selections; those are package variables, not fields.
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a package-level sync/atomic
+// function (AddUint64, LoadInt64, StorePointer, CompareAndSwap…, …).
+func isAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isAtomicValueType reports whether t is one of sync/atomic's value
+// types (atomic.Uint64, atomic.Value, atomic.Pointer[T], …), which can
+// only be accessed atomically through their API.
+func isAtomicValueType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// fieldName renders a field as Owner.Field when the owning struct type
+// is nameable, else just the field name.
+func fieldName(fv *types.Var) string {
+	name := fv.Name()
+	if p := fv.Pkg(); p != nil {
+		// Search the declaring package's named types for the struct
+		// holding this field, to give the diagnostic a readable anchor.
+		scope := p.Scope()
+		names := scope.Names() // already sorted
+		for _, tn := range names {
+			named, ok := scope.Lookup(tn).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := named.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == fv {
+					return fmt.Sprintf("%s.%s.%s", p.Name(), tn, name)
+				}
+			}
+		}
+	}
+	return name
+}

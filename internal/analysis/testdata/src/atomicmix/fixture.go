@@ -1,0 +1,35 @@
+// Package fixture exercises sdamvet/atomicmix. Lines with a trailing
+// want comment (as matched by the test harness) must produce an atomicmix diagnostic whose
+// message contains substr; every other line must stay silent.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	hits  uint64        // mixed: atomic in inc, plain in read
+	safe  atomic.Uint64 // atomic value type: intrinsically safe
+	plain uint64        // never touched atomically: fine
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) read() uint64 {
+	return c.hits // want "accessed atomically at"
+}
+
+func (c *counter) useSafe() uint64 {
+	c.safe.Add(1)
+	return c.safe.Load()
+}
+
+func (c *counter) bumpPlain() {
+	c.plain++
+}
+
+// Suppressed: an acknowledged single-threaded plain read.
+func (c *counter) readSuppressed() uint64 {
+	//lint:ignore sdamvet/atomicmix fixture exercises the suppression path
+	return c.hits
+}

@@ -15,6 +15,7 @@ package apps
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cpu"
 	"repro/internal/geom"
@@ -137,6 +138,7 @@ func (k *kernelBase) Sites() []string {
 	for s := range k.arrays {
 		out = append(out, s)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -13,6 +13,7 @@ package chunk
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cmt"
 	"repro/internal/geom"
@@ -274,8 +275,16 @@ func (a *Allocator) Fragmentation() Fragmentation {
 // disjoint group membership, free-list/group partition of all chunks,
 // and CMT agreement.
 func (a *Allocator) CheckInvariants() error {
+	// Group IDs in sorted order: the first violation reported must not
+	// depend on map iteration order.
+	gids := make([]int, 0, len(a.groups))
+	for g := range a.groups {
+		gids = append(gids, g)
+	}
+	sort.Ints(gids)
 	seen := make(map[int]string, len(a.chunks))
-	for g, list := range a.groups {
+	for _, g := range gids {
+		list := a.groups[g]
 		for _, c := range list {
 			where := fmt.Sprintf("group %d", g)
 			if prev, dup := seen[c]; dup {

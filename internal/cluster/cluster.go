@@ -20,6 +20,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/geom"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/profile"
 	"repro/internal/trace"
+	"repro/internal/wallclock"
 )
 
 // Selection is the outcome of mapping selection for one application.
@@ -198,7 +200,7 @@ func buildSelection(method string, k int, vids []int, vecs []mapping.BFRV, sampl
 // SelectKMeans clusters the major variables' BFRVs into at most k
 // groups and derives one mapping per group.
 func SelectKMeans(p profile.Profile, k int, g geom.Geometry) (Selection, error) {
-	start := time.Now()
+	start := wallclock.Now()
 	vecs, vids := p.BFRVs()
 	if len(vecs) == 0 {
 		return Selection{}, fmt.Errorf("cluster: profile for %q has no major variables", p.App)
@@ -212,7 +214,7 @@ func SelectKMeans(p profile.Profile, k int, g geom.Geometry) (Selection, error) 
 		return Selection{}, err
 	}
 	sel := buildSelection("KMeans", len(res.Centroids), vids, vecs, p.MajorSamples(), res.Assignment, g)
-	sel.ProfilingTime = time.Since(start)
+	sel.ProfilingTime = wallclock.Since(start)
 	return sel, nil
 }
 
@@ -220,7 +222,7 @@ func SelectKMeans(p profile.Profile, k int, g geom.Geometry) (Selection, error) 
 // automatically by silhouette score, up to maxK — the "judicious"
 // K selection §6.2 leaves to the operator, automated.
 func SelectKMeansAuto(p profile.Profile, maxK int, g geom.Geometry) (Selection, error) {
-	start := time.Now()
+	start := wallclock.Now()
 	vecs, vids := p.BFRVs()
 	if len(vecs) == 0 {
 		return Selection{}, fmt.Errorf("cluster: profile for %q has no major variables", p.App)
@@ -234,7 +236,7 @@ func SelectKMeansAuto(p profile.Profile, maxK int, g geom.Geometry) (Selection, 
 		return Selection{}, err
 	}
 	sel := buildSelection("KMeans-auto", k, vids, vecs, p.MajorSamples(), res.Assignment, g)
-	sel.ProfilingTime = time.Since(start)
+	sel.ProfilingTime = wallclock.Since(start)
 	return sel, nil
 }
 
@@ -269,7 +271,7 @@ func (o DLOptions) withDefaults() DLOptions {
 // objective; per-variable embeddings (mean over the windows the variable
 // dominates) are clustered; cluster mean BFRVs pick the mappings.
 func SelectDL(p profile.Profile, deltas []trace.DeltaSample, k int, g geom.Geometry, opts DLOptions) (Selection, error) {
-	start := time.Now()
+	start := wallclock.Now()
 	opts = opts.withDefaults()
 	vecs, vids := p.BFRVs()
 	if len(vecs) == 0 {
@@ -298,12 +300,19 @@ func SelectDL(p profile.Profile, deltas []trace.DeltaSample, k int, g geom.Geome
 			s.VIDs = append(s.VIDs, d.VID)
 			counts[d.VID]++
 		}
-		// Lowest VID wins ties: map iteration order is randomized, and a
-		// random winner would make the whole DL selection nondeterministic.
+		// Walk VIDs in sorted order so the modal pick — and its
+		// tie-break toward the lowest VID — can never depend on map
+		// iteration order (this exact loop shipped nondeterministic once;
+		// sdamvet/maporder now guards it).
+		windowVIDs := make([]int, 0, len(counts))
+		for vid := range counts {
+			windowVIDs = append(windowVIDs, vid)
+		}
+		sort.Ints(windowVIDs)
 		modal, best := -1, 0
-		for vid, n := range counts {
-			if n > best || (n == best && vid < modal) {
-				modal, best = vid, n
+		for _, vid := range windowVIDs {
+			if counts[vid] > best {
+				modal, best = vid, counts[vid]
 			}
 		}
 		seqs = append(seqs, s)
@@ -357,7 +366,7 @@ func SelectDL(p profile.Profile, deltas []trace.DeltaSample, k int, g geom.Geome
 		return Selection{}, err
 	}
 	sel := buildSelection("DL-KMeans", len(res.Centroids), vids, vecs, p.MajorSamples(), res.Assignment, g)
-	sel.ProfilingTime = time.Since(start)
+	sel.ProfilingTime = wallclock.Since(start)
 	return sel, nil
 }
 
@@ -365,7 +374,7 @@ func SelectDL(p profile.Profile, deltas []trace.DeltaSample, k int, g geom.Geome
 // reference-weighted mean of the major variables' BFRVs — the SDM+BSM
 // configuration's per-application selection.
 func SelectSingle(p profile.Profile, g geom.Geometry) (Selection, error) {
-	start := time.Now()
+	start := wallclock.Now()
 	majors := p.Majors()
 	if len(majors) == 0 {
 		return Selection{}, fmt.Errorf("cluster: profile for %q has no major variables", p.App)
@@ -393,7 +402,7 @@ func SelectSingle(p profile.Profile, g geom.Geometry) (Selection, error) {
 		VarMapping:      make(map[int]*mapping.Shuffle, len(majors)),
 		VarCluster:      make(map[int]int, len(majors)),
 		ClusterMappings: []*mapping.Shuffle{m},
-		ProfilingTime:   time.Since(start),
+		ProfilingTime:   wallclock.Since(start),
 	}
 	for _, v := range majors {
 		sel.VarMapping[v.VID] = m

@@ -162,6 +162,13 @@ func (t *Table) Lookup(chunk int) (amu.Config, error) {
 	return t.configs[t.chunkToIdx[chunk]], nil
 }
 
+// ReadCount returns the number of controller-side lookups so far.
+// Lookup bumps the counter under an RLock, where concurrent readers
+// overlap, so the increment and this load must both be atomic —
+// sdamvet/atomicmix enforces that any other access to Reads stays
+// atomic too.
+func (t *Table) ReadCount() uint64 { return atomic.LoadUint64(&t.Reads) }
+
 // MappingIndex returns the level-1 entry for a chunk.
 func (t *Table) MappingIndex(chunk int) (int, error) {
 	if chunk < 0 || chunk >= len(t.chunkToIdx) {

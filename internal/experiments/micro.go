@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/hbm"
@@ -113,10 +114,18 @@ func Fig2(Scale) (*Report, error) {
 			ha := g.Decode(mapping.Map(m, geom.LineAddr(i*stride)))
 			counts[ha.Channel]++
 		}
+		// Max over sorted keys: the value is order-independent, but
+		// iterating the map directly would trip sdamvet/maporder, and
+		// the sorted walk costs nothing at this size.
+		chans := make([]int, 0, len(counts))
+		for ch := range counts {
+			chans = append(chans, ch)
+		}
+		sort.Ints(chans)
 		max := 0
-		for _, c := range counts {
-			if c > max {
-				max = c
+		for _, ch := range chans {
+			if counts[ch] > max {
+				max = counts[ch]
 			}
 		}
 		return len(counts), max

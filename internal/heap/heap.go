@@ -245,8 +245,16 @@ func (a *Allocator) LiveBytes() uint64 {
 func (a *Allocator) CheckInvariants() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	// Walk blocks and heaps in sorted order so the first violation
+	// reported never depends on map iteration order.
+	vas := make([]vm.VA, 0, len(a.blocks))
+	for va := range a.blocks {
+		vas = append(vas, va)
+	}
+	sort.Slice(vas, func(i, j int) bool { return vas[i] < vas[j] })
 	usedBy := make(map[*heapRegion]uint64)
-	for va, b := range a.blocks {
+	for _, va := range vas {
+		b := a.blocks[va]
 		if va < b.heap.base || uint64(va)+b.size > uint64(b.heap.base)+b.heap.size {
 			return fmt.Errorf("heap: block %#x outside its heap", uint64(va))
 		}
@@ -256,7 +264,13 @@ func (a *Allocator) CheckInvariants() error {
 		usedBy[b.heap] += b.size
 	}
 	for _, ar := range a.arenas {
-		for mapID, heaps := range ar.heaps {
+		mapIDs := make([]int, 0, len(ar.heaps))
+		for mapID := range ar.heaps {
+			mapIDs = append(mapIDs, mapID)
+		}
+		sort.Ints(mapIDs)
+		for _, mapID := range mapIDs {
+			heaps := ar.heaps[mapID]
 			for _, h := range heaps {
 				if h.mapID != mapID {
 					return fmt.Errorf("heap: heap %#x filed under mapping %d but bound to %d", uint64(h.base), mapID, h.mapID)

@@ -3,13 +3,13 @@ package system
 import (
 	"fmt"
 	"strings"
-	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/cpu"
 	"repro/internal/heap"
 	"repro/internal/mapping"
 	"repro/internal/profile"
+	"repro/internal/wallclock"
 	"repro/internal/workload"
 )
 
@@ -41,7 +41,7 @@ func CoRun(ws []workload.Workload, opts Options) (Result, error) {
 	sels := make([]appSel, len(ws))
 	var globalMapping mapping.Mapping = mapping.Identity{}
 	if o.Kind.NeedsProfiling() {
-		start := time.Now()
+		start := wallclock.Now()
 		var combined mapping.BFRV
 		for i, w := range ws {
 			prof, col, err := Profile(w, o)
@@ -78,7 +78,7 @@ func CoRun(ws []workload.Workload, opts Options) (Result, error) {
 			combined.Scale(1 / float64(len(ws)))
 			globalMapping = mapping.FromBFRV(combined, o.Geometry, "BSM-mix")
 		}
-		res.ProfilingTime = time.Since(start)
+		res.ProfilingTime = wallclock.Since(start)
 	}
 
 	// Boot the shared machine.

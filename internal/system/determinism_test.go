@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/cluster"
 	"repro/internal/cpu"
 	"repro/internal/parallel"
 	"repro/internal/workload"
@@ -70,6 +71,90 @@ func TestCompareDeterministicUnderParallelism(t *testing.T) {
 				if !reflect.DeepEqual(serial[i], par[i]) {
 					t.Errorf("%s: parallel result diverges from serial\nserial:   %+v\nparallel: %+v",
 						kinds[i], summarize(serial[i]), summarize(par[i]))
+				}
+			}
+		})
+	}
+}
+
+// TestAblationEntryPointsDeterministicUnderParallelism extends the
+// serial-vs-parallel bit-identity guarantee from Compare to the other
+// simulation entry points the ablation experiments drive: the co-run
+// scenario, the do-no-harm guard toggle, MSHR variants, and
+// cluster-budget variants. Each case rebuilds its workloads per run (a
+// shared instance would be mutated by Setup) and must produce
+// DeepEqual results at jobs=1 and jobs=4 after wall-clock
+// normalization.
+func TestAblationEntryPointsDeterministicUnderParallelism(t *testing.T) {
+	kmeans := func() workload.Workload { return apps.NewKMeansApp(apps.Options{MaxRefs: 4_000}) }
+	cases := []struct {
+		name string
+		do   func() ([]Result, error)
+	}{
+		{"corun", func() ([]Result, error) {
+			ws := []workload.Workload{
+				strideWorkload([]int{1, 32}),
+				kmeans(),
+			}
+			r, err := CoRun(ws, Options{Kind: SDMBSM, Clusters: 2})
+			return []Result{r}, err
+		}},
+		{"guard-disabled", func() ([]Result, error) {
+			cluster.DisableGuard = true
+			defer func() { cluster.DisableGuard = false }()
+			r, err := Run(strideWorkload([]int{1, 64}), Options{Kind: SDMBSM, Clusters: 2})
+			return []Result{r}, err
+		}},
+		{"mshr-variants", func() ([]Result, error) {
+			var out []Result
+			for _, mshrs := range []int{2, 8} {
+				eng := cpu.AcceleratorConfig(2)
+				eng.MSHRs = mshrs
+				r, err := Run(kmeans(), Options{Kind: SDMBSMML, Clusters: 2, Engine: eng})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+			return out, nil
+		}},
+		{"cluster-budget", func() ([]Result, error) {
+			var out []Result
+			for _, k := range []int{1, 4} {
+				r, err := Run(kmeans(), Options{Kind: SDMBSMML, Clusters: k})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+			return out, nil
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prev := parallel.SetJobs(1)
+			serial, err := c.do()
+			parallel.SetJobs(prev)
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+
+			prev = parallel.SetJobs(4)
+			par, err := c.do()
+			parallel.SetJobs(prev)
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+
+			normalizeWallClock(serial)
+			normalizeWallClock(par)
+			if len(serial) != len(par) {
+				t.Fatalf("result count: serial %d, parallel %d", len(serial), len(par))
+			}
+			for i := range serial {
+				if !reflect.DeepEqual(serial[i], par[i]) {
+					t.Errorf("result %d: parallel diverges from serial\nserial:   %+v\nparallel: %+v",
+						i, summarize(serial[i]), summarize(par[i]))
 				}
 			}
 		})

@@ -33,6 +33,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/trace"
 	"repro/internal/vm"
+	"repro/internal/wallclock"
 	"repro/internal/workload"
 )
 
@@ -204,7 +205,7 @@ func Run(w workload.Workload, opts Options) (Result, error) {
 			return res, err
 		}
 		res.Profile = &prof
-		start := time.Now()
+		start := wallclock.Now()
 		switch o.Kind {
 		case BSBSM:
 			globalMapping = mapping.FromBFRV(col.GlobalBFRV(), o.Geometry, "BSM-global")
@@ -227,7 +228,7 @@ func Run(w workload.Workload, opts Options) (Result, error) {
 			}
 			sel = &s
 		}
-		res.ProfilingTime = time.Since(start)
+		res.ProfilingTime = wallclock.Since(start)
 		res.Selection = sel
 	}
 
@@ -327,16 +328,14 @@ func Compare(w workload.Workload, base Options, kinds []Kind) ([]Result, error) 
 		// configuration at a time.
 		jobs = 1
 	}
+	name := w.Name() // hoisted: the thunks must not touch the shared workload
 	return parallel.MapN(jobs, kinds, func(_ int, k Kind) (Result, error) {
 		o := base
 		o.Kind = k
-		wk := w
-		if cloneable {
-			wk = workload.Clone(w)
-		}
+		wk := workload.Clone(w)
 		r, err := Run(wk, o)
 		if err != nil {
-			return r, fmt.Errorf("system: %s on %s: %w", k, w.Name(), err)
+			return r, fmt.Errorf("system: %s on %s: %w", k, name, err)
 		}
 		return r, nil
 	})

@@ -280,8 +280,16 @@ func (as *AddressSpace) Faults() uint64 { return as.faults }
 // lies in a VMA, its frame's chunk carries the VMA's mapping, and no
 // frame backs two pages (DESIGN.md invariants 4-5).
 func (as *AddressSpace) CheckInvariants() error {
+	// Check pages in sorted order so the first invariant violation
+	// reported is always the same one, run to run.
+	vpns := make([]uint64, 0, len(as.pages))
+	for vpn := range as.pages {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
 	seen := make(map[chunk.Frame]uint64, len(as.pages))
-	for vpn, f := range as.pages {
+	for _, vpn := range vpns {
+		f := as.pages[vpn]
 		va := VA(vpn << geom.PageShift)
 		v := as.FindVMA(va)
 		if v == nil {
