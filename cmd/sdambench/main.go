@@ -4,17 +4,56 @@
 //
 // Usage:
 //
-//	sdambench [-engine cpu|accel] [-cores n] [-clusters n] [-refs n] [-hbmdiv f] <benchmark>|standard|data
+//	sdambench [-engine cpu|accel] [-cores n] [-clusters n] [-refs n]
+//	          [-hbmdiv f] [-jobs n] [-json file] <benchmark>|standard|data
+//
+// -jobs bounds how many simulation cells run concurrently (0 means
+// GOMAXPROCS). -json additionally times every (benchmark, config) cell
+// and the parallel sweep, and writes the measurements — host ns per
+// simulated reference per configuration plus sweep wall-clock — to the
+// named file (conventionally BENCH_hotpath.json, the repo's recorded
+// perf trajectory; see README "Performance").
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/internal/wallclock"
 	"repro/sdam"
 )
+
+// benchCell is one timed (benchmark, configuration) run in -json mode.
+type benchCell struct {
+	Benchmark string `json:"benchmark"`
+	Config    string `json:"config"`
+	// NsPerRef is host wall-clock nanoseconds per simulated reference
+	// for the whole cell (profiling pass, selection, and evaluation pass
+	// where the configuration has them) — the sweep-cost view of the
+	// per-reference hot path.
+	NsPerRef        float64 `json:"ns_per_ref"`
+	References      uint64  `json:"references"`
+	WallMs          float64 `json:"wall_ms"`
+	SpeedupOverBSDM float64 `json:"speedup_over_bsdm"`
+}
+
+// benchReport is the schema of the -json output file.
+type benchReport struct {
+	Schema   int    `json:"schema"`
+	Engine   string `json:"engine"`
+	Cores    int    `json:"cores"`
+	Refs     int    `json:"refs"`
+	Clusters int    `json:"clusters"`
+	Jobs     int    `json:"jobs"`
+	// Cells are timed one at a time (unloaded host).
+	Cells []benchCell `json:"cells"`
+	// SweepWallMs is the wall-clock of the same sweep run through the
+	// parallel harness at the configured -jobs width.
+	SweepWallMs float64 `json:"sweep_wall_ms"`
+}
 
 func main() {
 	engine := flag.String("engine", "cpu", "processing element: cpu or accel")
@@ -23,6 +62,7 @@ func main() {
 	refs := flag.Int("refs", 80_000, "per-run reference budget")
 	hbmdiv := flag.Float64("hbmdiv", 1, "HBM frequency divider (Fig 14)")
 	jobs := flag.Int("jobs", 0, "max concurrent simulation cells (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "also time each cell and write perf measurements to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: sdambench [flags] <benchmark>|standard|data")
@@ -52,31 +92,113 @@ func main() {
 		names = []string{flag.Arg(0)}
 	}
 
+	base := sdam.Options{Engine: eng, Clusters: *clusters, HBMScale: *hbmdiv}
 	kinds := []sdam.Kind{sdam.BSDM, sdam.BSBSM, sdam.BSHM, sdam.SDMBSM, sdam.SDMBSMML, sdam.SDMBSMDL}
-	fmt.Printf("%-14s", "benchmark")
-	for _, k := range kinds[1:] {
-		fmt.Printf("  %12s", k)
-	}
-	fmt.Println()
 
+	if *jsonPath != "" {
+		rep := benchReport{
+			Schema: 1, Engine: eng.Name, Cores: *cores,
+			Refs: *refs, Clusters: *clusters, Jobs: sdam.Jobs(),
+		}
+		runTimed(&rep, names, base, kinds, *refs)
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	printHeader(kinds)
 	for _, name := range names {
 		w, err := buildBench(name, *refs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
 			os.Exit(1)
 		}
-		base := sdam.Options{Engine: eng, Clusters: *clusters, HBMScale: *hbmdiv}
 		results, err := sdam.Compare(w, base, kinds)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sdambench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-14s", name)
-		for _, r := range results[1:] {
-			fmt.Printf("  %11.2fx", r.SpeedupOver(results[0]))
-		}
-		fmt.Println()
+		printRow(name, results)
 	}
+}
+
+func printHeader(kinds []sdam.Kind) {
+	fmt.Printf("%-14s", "benchmark")
+	for _, k := range kinds[1:] {
+		fmt.Printf("  %12s", k)
+	}
+	fmt.Println()
+}
+
+func printRow(name string, results []sdam.Result) {
+	fmt.Printf("%-14s", name)
+	for _, r := range results[1:] {
+		fmt.Printf("  %11.2fx", r.SpeedupOver(results[0]))
+	}
+	fmt.Println()
+}
+
+// runTimed fills the report: every cell run and timed one at a time for
+// clean per-config numbers (the speedup table prints along the way),
+// then the same sweep through the parallel harness for the end-to-end
+// wall-clock. Timing goes through wallclock, the repo's sanctioned
+// host-clock source; host time is only reported, never fed back into
+// simulated state.
+func runTimed(rep *benchReport, names []string, base sdam.Options, kinds []sdam.Kind, refs int) {
+	printHeader(kinds)
+	for _, name := range names {
+		results := make([]sdam.Result, 0, len(kinds))
+		for _, k := range kinds {
+			w, err := buildBench(name, refs)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
+				os.Exit(1)
+			}
+			o := base
+			o.Kind = k
+			start := wallclock.Now()
+			r, err := sdam.RunBenchmark(w, o)
+			wall := wallclock.Since(start)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sdambench: %s on %s: %v\n", k, name, err)
+				os.Exit(1)
+			}
+			results = append(results, r)
+			cell := benchCell{
+				Benchmark:       name,
+				Config:          k.String(),
+				References:      r.Run.References,
+				WallMs:          float64(wall.Microseconds()) / 1e3,
+				SpeedupOverBSDM: r.SpeedupOver(results[0]),
+			}
+			if r.Run.References > 0 {
+				cell.NsPerRef = float64(wall.Nanoseconds()) / float64(r.Run.References)
+			}
+			rep.Cells = append(rep.Cells, cell)
+		}
+		printRow(name, results)
+	}
+	start := wallclock.Now()
+	for _, name := range names {
+		w, err := buildBench(name, refs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := sdam.Compare(w, base, kinds); err != nil {
+			fmt.Fprintf(os.Stderr, "sdambench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	rep.SweepWallMs = float64(wallclock.Since(start).Microseconds()) / 1e3
+	fmt.Printf("parallel sweep (%d jobs): %.1f ms\n", rep.Jobs, rep.SweepWallMs)
 }
 
 // buildBench resolves a benchmark name, additionally accepting

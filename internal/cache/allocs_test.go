@@ -1,0 +1,27 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestLookupZeroAllocs pins the cache-lookup fast path — one call per
+// simulated reference — at zero heap allocations.
+func TestLookupZeroAllocs(t *testing.T) {
+	c := MustNew(64<<10, 8)
+	var l geom.LineAddr
+	if n := testing.AllocsPerRun(2000, func() {
+		c.Access(l)
+		l += 7
+	}); n != 0 {
+		t.Errorf("Access allocates %.1f objects per call, want 0", n)
+	}
+	var d geom.LineAddr
+	if n := testing.AllocsPerRun(2000, func() {
+		c.AccessDirty(d, d%3 == 0)
+		d += 13
+	}); n != 0 {
+		t.Errorf("AccessDirty allocates %.1f objects per call, want 0", n)
+	}
+}

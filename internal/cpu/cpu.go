@@ -14,7 +14,6 @@
 package cpu
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/cache"
@@ -29,6 +28,20 @@ type Stream interface {
 	// Next returns the next reference. ok=false ends the stream.
 	Next() (ref Ref, ok bool)
 }
+
+// BatchStream is an optional Stream extension the engine uses to
+// amortize interface dispatch: NextBatch fills buf from the front and
+// returns how many references were produced. It may return fewer than
+// len(buf) at any time; 0 means the stream is exhausted. The emitted
+// sequence must be identical to what repeated Next calls would yield.
+type BatchStream interface {
+	Stream
+	NextBatch(buf []Ref) int
+}
+
+// batchSize is the engine's per-core refill granularity: one interface
+// call per this many references on the hot path.
+const batchSize = 64
 
 // SliceStream adapts a materialized reference list.
 type SliceStream struct {
@@ -55,6 +68,17 @@ func (s *SliceStream) Next() (Ref, bool) {
 	s.pos++
 	return r, true
 }
+
+// NextBatch implements BatchStream.
+func (s *SliceStream) NextBatch(buf []Ref) int {
+	n := copy(buf, s.Refs[s.pos:])
+	s.pos += n
+	return n
+}
+
+// Reset rewinds the stream so it can be replayed without re-cloning the
+// workload that produced it.
+func (s *SliceStream) Reset() { s.pos = 0 }
 
 // Config sizes one engine.
 type Config struct {
@@ -210,30 +234,161 @@ func (e *Engine) fillCaches(c int, line geom.LineAddr) {
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// mshrRing tracks the completion times of in-flight misses in a
+// fixed-capacity array kept in binary min-heap order, replacing the old
+// ordered slice whose every full-window eviction paid an O(n) scan plus
+// an O(n) element shift; here insert and evict are O(log n) swaps in
+// one cache line's worth of floats. Only the minimum *value* is
+// observable (it is the stall time, and equal values are
+// indistinguishable), so the internal ordering change keeps results
+// bit-identical.
+type mshrRing struct {
+	times []float64 // capacity fixed at the MSHR count
+}
+
+func (m *mshrRing) init(slots int) {
+	m.times = make([]float64, 0, slots)
+}
+
+// full reports whether a new miss must first evict the earliest one.
+func (m *mshrRing) full() bool { return len(m.times) == cap(m.times) }
+
+// add records a miss completing at t.
+func (m *mshrRing) add(t float64) {
+	h := append(m.times, t)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if h[i] <= h[j] {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	m.times = h
+}
+
+// evictMin removes and returns the earliest completion time.
+func (m *mshrRing) evictMin() float64 {
+	h := m.times
+	t := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j+1 < n && h[j+1] < h[j] {
+			j++ // smaller child
+		}
+		if h[i] <= h[j] {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	m.times = h
+	return t
+}
+
+// boundStream is a stream with its owner address space resolved once at
+// setup, so the per-reference path never consults an ownership map.
+type boundStream struct {
+	src   Stream
+	batch BatchStream // src, when it implements BatchStream
+	as    *vm.AddressSpace
+}
+
 // coreState tracks one core's simulated progress.
 type coreState struct {
-	id          int
-	streams     []Stream
-	streamIdx   int
-	nextReady   float64   // earliest next issue
-	outstanding []float64 // completion times of in-flight misses
-	done        bool
-	lastFinish  float64
+	id         int
+	streams    []boundStream
+	streamIdx  int
+	bufPos     int     // next unread index in buf
+	bufLen     int     // filled prefix of buf
+	nextReady  float64 // earliest next issue
+	lastFinish float64
+	mshr       mshrRing
+	buf        [batchSize]Ref // refill buffer for the current stream
 }
 
 // coreHeap orders cores by next ready time for lockstep interleaving.
+// The sift routines are the standard binary-heap algorithm specialized
+// to []*coreState — comparison-for-comparison and swap-for-swap the
+// same as container/heap with the old Less, so pop order (including
+// tie-break history) is unchanged while the per-operation interface
+// dispatch and interface{} boxing are gone.
 type coreHeap []*coreState
 
-func (h coreHeap) Len() int            { return len(h) }
-func (h coreHeap) Less(i, j int) bool  { return h[i].nextReady < h[j].nextReady }
-func (h coreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *coreHeap) Push(x interface{}) { *h = append(*h, x.(*coreState)) }
-func (h *coreHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h coreHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(h[j].nextReady < h[i].nextReady) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h coreHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].nextReady < h[j1].nextReady {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !(h[j].nextReady < h[i].nextReady) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+func (h *coreHeap) push(c *coreState) {
+	*h = append(*h, c)
+	h.up(len(*h) - 1)
+}
+
+func (h *coreHeap) pop() *coreState {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	s.down(0, n)
+	c := s[n]
+	*h = s[:n]
+	return c
+}
+
+// canSkip reports whether pushing a core with the given key and
+// immediately popping would provably return that same core and leave
+// the heap array bit-identical — the cases where the round-trip can be
+// elided without rewriting tie-break history. Proof sketch: the push's
+// sift-up of a strict minimum and the pop's sift-down retrace exactly
+// inverse swap sequences for heaps of ≤ 4 elements when the guards
+// below hold (the sift-down's child comparisons then resolve the same
+// way they did before the push); at 5+ elements the sift-down consults
+// pairs whose relative order the round-trip can legitimately reshuffle,
+// so those sizes always take the real round-trip.
+func (h coreHeap) canSkip(key float64) bool {
+	switch {
+	case len(h) == 0:
+		return true
+	case len(h) <= 2:
+		return key < h[0].nextReady
+	case len(h) <= 4:
+		return key < h[0].nextReady && h[0].nextReady < h[1].nextReady
+	default:
+		return false
+	}
 }
 
 // Proc binds one process's reference streams to its address space, so
@@ -257,129 +412,170 @@ func (e *Engine) Run(streams []Stream) (Result, error) {
 // the shared memory system sees a causally ordered request stream.
 func (e *Engine) RunProcs(procs []Proc) (Result, error) {
 	var res Result
-	var streams []Stream
-	owner := map[Stream]*vm.AddressSpace{}
+	var bound []boundStream
+	var spaces []*vm.AddressSpace // unique owner spaces, procs order
+	var faultsBefore []uint64
 	for _, p := range procs {
 		as := p.AS
 		if as == nil {
 			as = e.as
 		}
 		for _, s := range p.Streams {
-			streams = append(streams, s)
-			owner[s] = as
+			bs := boundStream{src: s, as: as}
+			if b, ok := s.(BatchStream); ok {
+				bs.batch = b
+			}
+			bound = append(bound, bs)
+			known := false
+			for _, seen := range spaces {
+				if seen == as {
+					known = true
+					break
+				}
+			}
+			if !known {
+				spaces = append(spaces, as)
+				faultsBefore = append(faultsBefore, as.Faults())
+			}
 		}
 	}
-	if len(streams) == 0 {
+	if len(bound) == 0 {
 		return res, nil
 	}
 	cores := make([]*coreState, e.cfg.Cores)
 	for i := range cores {
 		cores[i] = &coreState{id: i}
+		cores[i].mshr.init(e.cfg.MSHRs)
 	}
-	for i, s := range streams {
+	for i, s := range bound {
 		c := cores[i%len(cores)]
 		c.streams = append(c.streams, s)
 	}
 	h := &coreHeap{}
 	for _, c := range cores {
 		if len(c.streams) > 0 {
-			heap.Push(h, c)
+			h.push(c)
 		}
-	}
-	spaces := map[*vm.AddressSpace]uint64{}
-	for _, as := range owner {
-		spaces[as] = as.Faults()
 	}
 
-	for h.Len() > 0 {
-		c := heap.Pop(h).(*coreState)
-		cur := c.streams[c.streamIdx]
-		ref, ok := cur.Next()
-		if !ok {
-			c.streamIdx++
-			if c.streamIdx >= len(c.streams) {
-				if c.lastFinish > res.TimeNs {
-					res.TimeNs = c.lastFinish
+	for len(*h) > 0 {
+		c := h.pop()
+	core:
+		// The inner loop keeps driving c while it provably remains the
+		// global minimum (canSkip); otherwise it re-enters the heap and
+		// the outer loop picks the true minimum — the exact round-trip
+		// the original per-reference loop always paid.
+		for {
+			var ref Ref
+			if c.bufPos < c.bufLen {
+				ref = c.buf[c.bufPos]
+				c.bufPos++
+			} else {
+				b := &c.streams[c.streamIdx]
+				got := false
+				if b.batch != nil {
+					if n := b.batch.NextBatch(c.buf[:]); n > 0 {
+						ref = c.buf[0]
+						c.bufPos, c.bufLen = 1, n
+						got = true
+					}
+				} else if r, ok := b.src.Next(); ok {
+					ref = r
+					got = true
 				}
-				continue
+				if !got {
+					c.streamIdx++
+					if c.streamIdx >= len(c.streams) {
+						// Core retired: it leaves the heap for good.
+						if c.lastFinish > res.TimeNs {
+							res.TimeNs = c.lastFinish
+						}
+						break core
+					}
+					// Stream boundary: the original loop paid a heap
+					// round-trip here with nextReady unchanged.
+					if h.canSkip(c.nextReady) {
+						continue
+					}
+					h.push(c)
+					break core
+				}
 			}
-			heap.Push(h, c)
-			continue
-		}
-		res.References++
-		line, err := owner[cur].TranslateLine(ref.VA)
-		if err != nil {
-			return res, fmt.Errorf("cpu: core %d: %w", c.id, err)
-		}
-		issue := c.nextReady
-		hit, wbVictim, wb := e.lookupCaches(c.id, line, ref.Write)
-		if wb {
-			// Dirty eviction: a posted write-back to memory.
-			if _, err := e.ctrl.Access(issue, wbVictim); err != nil {
-				return res, fmt.Errorf("cpu: core %d write-back: %w", c.id, err)
+			res.References++
+			line, err := c.streams[c.streamIdx].as.TranslateLine(ref.VA)
+			if err != nil {
+				return res, fmt.Errorf("cpu: core %d: %w", c.id, err)
+			}
+			issue := c.nextReady
+			hit, wbVictim, wb := e.lookupCaches(c.id, line, ref.Write)
+			if wb {
+				// Dirty eviction: a posted write-back to memory.
+				if _, err := e.ctrl.Access(issue, wbVictim); err != nil {
+					return res, fmt.Errorf("cpu: core %d write-back: %w", c.id, err)
+				}
+				res.External++
+				res.Writes++
+			}
+			if hit {
+				res.CacheHits++
+				c.nextReady = issue + e.cfg.HitNs + e.cfg.ComputeNs
+				if c.nextReady > c.lastFinish {
+					c.lastFinish = c.nextReady
+				}
+				if h.canSkip(c.nextReady) {
+					continue
+				}
+				h.push(c)
+				break core
+			}
+			// External access. Loads block on a free MSHR slot; stores
+			// are posted through the write buffer and never stall the
+			// core, though their bandwidth still contends at the device.
+			if !ref.Write && c.mshr.full() {
+				if t := c.mshr.evictMin(); t > issue {
+					issue = t
+				}
+			}
+			done, err := e.ctrl.Access(issue, line)
+			if err != nil {
+				return res, fmt.Errorf("cpu: core %d: %w", c.id, err)
 			}
 			res.External++
-			res.Writes++
-		}
-		if hit {
-			res.CacheHits++
-			c.nextReady = issue + e.cfg.HitNs + e.cfg.ComputeNs
-			if c.nextReady > c.lastFinish {
-				c.lastFinish = c.nextReady
+			if ref.Write {
+				res.Writes++
 			}
-			heap.Push(h, c)
-			continue
-		}
-		// External access. Loads block on a free MSHR slot; stores are
-		// posted through the write buffer and never stall the core,
-		// though their bandwidth still contends at the device.
-		if !ref.Write && len(c.outstanding) >= e.cfg.MSHRs {
-			earliest := 0
-			for i, t := range c.outstanding {
-				if t < c.outstanding[earliest] {
-					earliest = i
+			if e.Collector != nil {
+				e.Collector.Record(trace.Access{Time: issue, PC: ref.PC, VA: ref.VA, PA: line})
+			}
+			if !ref.Write {
+				c.mshr.add(done)
+			}
+			if done > c.lastFinish {
+				c.lastFinish = done
+			}
+			// Next-line prefetches: posted fills launched alongside the miss.
+			for k := 1; k <= e.cfg.PrefetchNext; k++ {
+				pline := line + geom.LineAddr(k)
+				e.fillCaches(c.id, pline)
+				pdone, err := e.ctrl.Access(issue, pline)
+				if err != nil {
+					break // off the end of physical memory: stop prefetching
+				}
+				res.Prefetches++
+				if pdone > c.lastFinish {
+					c.lastFinish = pdone
 				}
 			}
-			if c.outstanding[earliest] > issue {
-				issue = c.outstanding[earliest]
+			c.nextReady = issue + e.cfg.ComputeNs
+			if h.canSkip(c.nextReady) {
+				continue
 			}
-			c.outstanding = append(c.outstanding[:earliest], c.outstanding[earliest+1:]...)
+			h.push(c)
+			break core
 		}
-		done, err := e.ctrl.Access(issue, line)
-		if err != nil {
-			return res, fmt.Errorf("cpu: core %d: %w", c.id, err)
-		}
-		res.External++
-		if ref.Write {
-			res.Writes++
-		}
-		if e.Collector != nil {
-			e.Collector.Record(trace.Access{Time: issue, PC: ref.PC, VA: ref.VA, PA: line})
-		}
-		if !ref.Write {
-			c.outstanding = append(c.outstanding, done)
-		}
-		if done > c.lastFinish {
-			c.lastFinish = done
-		}
-		// Next-line prefetches: posted fills launched alongside the miss.
-		for k := 1; k <= e.cfg.PrefetchNext; k++ {
-			pline := line + geom.LineAddr(k)
-			e.fillCaches(c.id, pline)
-			pdone, err := e.ctrl.Access(issue, pline)
-			if err != nil {
-				break // off the end of physical memory: stop prefetching
-			}
-			res.Prefetches++
-			if pdone > c.lastFinish {
-				c.lastFinish = pdone
-			}
-		}
-		c.nextReady = issue + e.cfg.ComputeNs
-		heap.Push(h, c)
 	}
-	for as, before := range spaces {
-		res.Faults += as.Faults() - before
+	for i, as := range spaces {
+		res.Faults += as.Faults() - faultsBefore[i]
 	}
 	return res, nil
 }

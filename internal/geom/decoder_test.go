@@ -1,0 +1,49 @@
+package geom
+
+import "testing"
+
+// TestDecoderMatchesDecode pins the precomputed Decoder bit-for-bit
+// against Geometry.Decode across the geometries the evaluation uses and
+// a dense + strided address sample per geometry.
+func TestDecoderMatchesDecode(t *testing.T) {
+	geoms := map[string]Geometry{
+		"default": Default(),
+		"hmc":     HMC(),
+	}
+	// The Fig 1 channel sweeps rescale rows to hold capacity; cover a
+	// narrow-channel variant too.
+	narrow := Default()
+	narrow.Channels = 4
+	narrow.Rows = narrow.Rows * 8
+	geoms["narrow"] = narrow
+	for name, g := range geoms {
+		if err := g.Check(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d := g.NewDecoder()
+		for i := uint64(0); i < 1<<17; i++ {
+			l := LineAddr(i)
+			if got, want := d.Decode(l), g.Decode(l); got != want {
+				t.Fatalf("%s: Decode(%#x) = %+v, Geometry.Decode = %+v", name, i, got, want)
+			}
+		}
+		for i := uint64(0); i < 1<<14; i++ {
+			l := LineAddr(i*12289 + i<<OffsetBits) // cross chunks
+			if got, want := d.Decode(l), g.Decode(l); got != want {
+				t.Fatalf("%s: Decode(%#x) = %+v, Geometry.Decode = %+v", name, uint64(l), got, want)
+			}
+		}
+	}
+}
+
+// TestDecoderZeroAllocs pins the decode hot path allocation-free.
+func TestDecoderZeroAllocs(t *testing.T) {
+	d := Default().NewDecoder()
+	var l LineAddr
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = d.Decode(l)
+		l += 977
+	}); n != 0 {
+		t.Errorf("Decoder.Decode allocates %.1f objects per call, want 0", n)
+	}
+}

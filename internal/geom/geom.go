@@ -215,3 +215,54 @@ func (g Geometry) Decode(l LineAddr) HardwareAddress {
 	ha.Bank ^= fold & (g.Banks - 1)
 	return ha
 }
+
+// Decoder is a Geometry's Decode pipeline with the field shifts and
+// masks computed once. Decode re-derives the bit widths (four log2
+// loops) on every call, which dominated the address split on the
+// simulation hot path; constructing a Decoder hoists that work out of
+// the loop. Requires a Check-ed geometry — every level a power of two,
+// which also turns the row modulo into a mask. Decode here is
+// bit-for-bit identical to Geometry.Decode.
+type Decoder struct {
+	chanMask    uint64
+	colShift    uint
+	colMask     uint64
+	bankShift   uint
+	bankMask    uint64
+	rowLowShift uint
+	rowLowBits  uint
+	rowMask     uint64
+	bankFold    int
+}
+
+// NewDecoder precomputes the decode pipeline for g, which must satisfy
+// g.Check().
+func (g Geometry) NewDecoder() Decoder {
+	b := g.Bits()
+	_, _, _, rowLowBits := b.OffsetFields()
+	return Decoder{
+		chanMask:    1<<b.Channel - 1,
+		colShift:    uint(b.Channel),
+		colMask:     1<<b.Column - 1,
+		bankShift:   uint(b.Channel + b.Column),
+		bankMask:    1<<b.Bank - 1,
+		rowLowShift: uint(b.Channel + b.Column + b.Bank),
+		rowLowBits:  uint(rowLowBits),
+		rowMask:     uint64(g.Rows) - 1,
+		bankFold:    g.Banks - 1,
+	}
+}
+
+// Decode splits a line address into HA fields; see Geometry.Decode for
+// the layout and the bank-interleaving fold it reproduces exactly.
+func (d Decoder) Decode(l LineAddr) HardwareAddress {
+	off := uint64(l) & (1<<OffsetBits - 1)
+	var ha HardwareAddress
+	ha.Channel = int(off & d.chanMask)
+	ha.Column = int(off >> d.colShift & d.colMask)
+	ha.Bank = int(off >> d.bankShift & d.bankMask)
+	ha.Row = int((uint64(l)>>OffsetBits<<d.rowLowBits | off>>d.rowLowShift) & d.rowMask)
+	fold := ha.Row ^ ha.Row>>4 ^ ha.Row>>8
+	ha.Bank ^= fold & d.bankFold
+	return ha
+}

@@ -14,7 +14,6 @@ package hbm
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/geom"
 )
@@ -67,6 +66,7 @@ func (t Timing) MissLatency() float64 { return t.TFront + t.TRP + t.TRCD + t.TCL
 // controller's front end does.
 type Device struct {
 	geom   geom.Geometry
+	dec    geom.Decoder
 	timing Timing
 
 	busFree     []float64   // per-channel data-bus availability
@@ -99,13 +99,18 @@ func New(g geom.Geometry, t Timing) *Device {
 	if err := g.Check(); err != nil {
 		panic("hbm: " + err.Error())
 	}
-	d := &Device{geom: g, timing: t}
+	d := &Device{geom: g, dec: g.NewDecoder(), timing: t}
 	d.Reset()
 	return d
 }
 
 // Geometry returns the device geometry.
 func (d *Device) Geometry() geom.Geometry { return d.geom }
+
+// Decode splits a line address into HA fields through the device's
+// precomputed decoder — same result as Geometry().Decode, without
+// re-deriving the field widths per access.
+func (d *Device) Decode(l geom.LineAddr) geom.HardwareAddress { return d.dec.Decode(l) }
 
 // Timing returns the device timing.
 func (d *Device) Timing() Timing { return d.timing }
@@ -172,7 +177,10 @@ func (d *Device) Access(at float64, ha geom.HardwareAddress) float64 {
 		// transfer, precharges the old row (if any), then opens the new
 		// one. Activations in other banks of the same channel overlap
 		// freely — that is bank-level parallelism.
-		actStart := math.Max(at, d.bankBusy[ch][bank])
+		actStart := at
+		if b := d.bankBusy[ch][bank]; b > actStart {
+			actStart = b
+		}
 		if d.openRow[ch][bank] >= 0 {
 			actStart += t.TRP
 		}
@@ -183,10 +191,16 @@ func (d *Device) Access(at float64, ha geom.HardwareAddress) float64 {
 		// Row hit: column commands to an open row pipeline at the
 		// column-to-column cadence (≈ one burst), so CAS latency adds
 		// delay but not serialization.
-		colIssue = math.Max(at, d.colReady[ch][bank])
+		colIssue = at
+		if r := d.colReady[ch][bank]; r > colIssue {
+			colIssue = r
+		}
 		d.stats.RowHits++
 	}
-	dataStart := math.Max(colIssue+t.TCL, d.busFree[ch])
+	dataStart := colIssue + t.TCL
+	if f := d.busFree[ch]; f > dataStart {
+		dataStart = f
+	}
 	finish := dataStart + t.TBurst
 
 	d.busFree[ch] = finish

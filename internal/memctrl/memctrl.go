@@ -67,8 +67,8 @@ func NewSDAM(dev *hbm.Device, table *cmt.Table, unit *amu.AMU) *Controller {
 	}
 	return &Controller{
 		dev: dev, table: table, amu: unit,
-		chunkCfg:  make([]*amu.Compiled, table.Chunks()),
-		cachedGen: table.Generation(),
+		chunkCfg:   make([]*amu.Compiled, table.Chunks()),
+		cachedGen:  table.Generation(),
 		cmtPenalty: 0,
 	}
 }
@@ -96,7 +96,7 @@ func (c *Controller) Access(at float64, l geom.LineAddr) (float64, error) {
 	} else {
 		ha = mapping.Map(c.global, l)
 	}
-	return c.dev.Access(at, c.dev.Geometry().Decode(ha)), nil
+	return c.dev.Access(at, c.dev.Decode(ha)), nil
 }
 
 // resolve returns the chunk's compiled crossbar configuration, filling

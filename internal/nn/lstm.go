@@ -118,37 +118,40 @@ func (l *LSTM) Forward(xs [][]float64) (*LSTMState, [][]float64) {
 	h := make([]float64, H)
 	c := make([]float64, H)
 	outs := make([][]float64, len(xs))
+	pre := make([]float64, 4*H) // scratch, fully rewritten each step
 	for t, x := range xs {
 		s := &st.steps[t]
 		s.x = x
 		s.hPrev = h
 		s.cPrev = c
-		pre := make([]float64, 4*H)
 		copy(pre, l.B.W)
 		for i, xi := range x {
 			if xi == 0 {
 				continue
 			}
-			row := i * 4 * H
-			for j := 0; j < 4*H; j++ {
-				pre[j] += xi * l.Wx.W[row+j]
+			row := l.Wx.W[i*4*H : (i+1)*4*H]
+			for j, w := range row {
+				pre[j] += xi * w
 			}
 		}
 		for i, hi := range h {
 			if hi == 0 {
 				continue
 			}
-			row := i * 4 * H
-			for j := 0; j < 4*H; j++ {
-				pre[j] += hi * l.Wh.W[row+j]
+			row := l.Wh.W[i*4*H : (i+1)*4*H]
+			for j, w := range row {
+				pre[j] += hi * w
 			}
 		}
-		s.i = make([]float64, H)
-		s.f = make([]float64, H)
-		s.g = make([]float64, H)
-		s.o = make([]float64, H)
-		s.c = make([]float64, H)
-		s.h = make([]float64, H)
+		// One backing array per step instead of six small ones; the
+		// slices are retained in the step cache for BPTT.
+		buf := make([]float64, 6*H)
+		s.i = buf[0*H : 1*H]
+		s.f = buf[1*H : 2*H]
+		s.g = buf[2*H : 3*H]
+		s.o = buf[3*H : 4*H]
+		s.c = buf[4*H : 5*H]
+		s.h = buf[5*H : 6*H]
 		for j := 0; j < H; j++ {
 			s.i[j] = sigmoid(pre[j])
 			s.f[j] = sigmoid(pre[H+j])
@@ -173,17 +176,17 @@ func (st *LSTMState) Backward(dH [][]float64) [][]float64 {
 	dxs := make([][]float64, len(st.steps))
 	dhNext := make([]float64, H)
 	dcNext := make([]float64, H)
+	dh := make([]float64, H)     // scratch, fully rewritten each step
+	dPre := make([]float64, 4*H) // scratch, fully rewritten each step
+	dc := make([]float64, H)     // scratch, fully rewritten each step
 	for t := len(st.steps) - 1; t >= 0; t-- {
 		s := &st.steps[t]
-		dh := make([]float64, H)
 		copy(dh, dhNext)
 		if t < len(dH) && dH[t] != nil {
 			for j, g := range dH[t] {
 				dh[j] += g
 			}
 		}
-		dPre := make([]float64, 4*H)
-		dc := make([]float64, H)
 		for j := 0; j < H; j++ {
 			tc := math.Tanh(s.c[j])
 			do := dh[j] * tc
@@ -196,23 +199,43 @@ func (st *LSTMState) Backward(dH [][]float64) [][]float64 {
 			dPre[2*H+j] = dg * (1 - s.g[j]*s.g[j])
 			dPre[3*H+j] = do * s.o[j] * (1 - s.o[j])
 		}
-		// Accumulate parameter grads and propagate to x, hPrev.
+		// Accumulate parameter grads and propagate to x, hPrev. The
+		// loops nest row-major (weight rows are contiguous in memory);
+		// each Grad element still receives exactly one contribution per
+		// step and each dx/dhPrev element still sums in ascending-j
+		// order, so results are bit-identical to the j-outer form. The
+		// g == 0 skip is load-bearing for that identity: adding a zero
+		// could flip a -0 accumulator to +0.
 		dx := make([]float64, l.In)
 		dhPrev := make([]float64, H)
-		for j := 0; j < 4*H; j++ {
-			g := dPre[j]
-			if g == 0 {
-				continue
+		for j, g := range dPre {
+			if g != 0 {
+				l.B.Grad[j] += g
 			}
-			l.B.Grad[j] += g
-			for i, xi := range s.x {
-				l.Wx.Grad[i*4*H+j] += xi * g
-				dx[i] += l.Wx.W[i*4*H+j] * g
+		}
+		for i, xi := range s.x {
+			row, grad := l.Wx.W[i*4*H:(i+1)*4*H], l.Wx.Grad[i*4*H:(i+1)*4*H]
+			acc := 0.0
+			for j, g := range dPre {
+				if g == 0 {
+					continue
+				}
+				grad[j] += xi * g
+				acc += row[j] * g
 			}
-			for i, hi := range s.hPrev {
-				l.Wh.Grad[i*4*H+j] += hi * g
-				dhPrev[i] += l.Wh.W[i*4*H+j] * g
+			dx[i] = acc
+		}
+		for i, hi := range s.hPrev {
+			row, grad := l.Wh.W[i*4*H:(i+1)*4*H], l.Wh.Grad[i*4*H:(i+1)*4*H]
+			acc := 0.0
+			for j, g := range dPre {
+				if g == 0 {
+					continue
+				}
+				grad[j] += hi * g
+				acc += row[j] * g
 			}
+			dhPrev[i] = acc
 		}
 		dxs[t] = dx
 		dhNext = dhPrev

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 
 	"repro/internal/cpu"
@@ -134,6 +135,12 @@ func (f *File) Workload() workload.Workload {
 type replay struct {
 	file  *File
 	bases []vm.VA
+	// streams caches the materialized per-thread reference lists; valid
+	// while bases is unchanged. A repeat run under the same allocation
+	// layout (e.g. the profiling and evaluation passes of a nil-policy
+	// configuration) then just Resets the cached streams instead of
+	// rebuilding multi-million-entry slices.
+	streams []*cpu.SliceStream
 }
 
 // Name implements workload.Workload.
@@ -145,6 +152,7 @@ func (r *replay) Clone() workload.Workload { return &replay{file: r.file} }
 
 // Setup implements workload.Workload.
 func (r *replay) Setup(env *workload.Env) error {
+	old := append([]vm.VA(nil), r.bases...)
 	r.bases = r.bases[:0]
 	for _, v := range r.file.Vars {
 		va, err := env.Alloc(v.Site, v.Bytes)
@@ -153,22 +161,34 @@ func (r *replay) Setup(env *workload.Env) error {
 		}
 		r.bases = append(r.bases, va)
 	}
+	if !slices.Equal(old, r.bases) {
+		r.streams = nil // cached streams carry stale addresses
+	}
 	return nil
 }
 
-// Streams implements workload.Workload.
+// Streams implements workload.Workload. The seed is ignored (a trace is
+// one fixed input), so repeat calls under the same allocation bases
+// reuse the cached streams via Reset.
 func (r *replay) Streams(int64) []cpu.Stream {
-	out := make([]cpu.Stream, 0, len(r.file.Threads))
-	for _, recs := range r.file.Threads {
-		s := &cpu.SliceStream{Refs: make([]cpu.Ref, len(recs))}
-		for i, rec := range recs {
-			s.Refs[i] = cpu.Ref{
-				VA:    r.bases[rec.Var] + vm.VA(rec.Off),
-				PC:    rec.PC,
-				Write: rec.Write,
+	if r.streams == nil {
+		r.streams = make([]*cpu.SliceStream, 0, len(r.file.Threads))
+		for _, recs := range r.file.Threads {
+			s := &cpu.SliceStream{Refs: make([]cpu.Ref, len(recs))}
+			for i, rec := range recs {
+				s.Refs[i] = cpu.Ref{
+					VA:    r.bases[rec.Var] + vm.VA(rec.Off),
+					PC:    rec.PC,
+					Write: rec.Write,
+				}
 			}
+			r.streams = append(r.streams, s)
 		}
-		out = append(out, s)
+	}
+	out := make([]cpu.Stream, len(r.streams))
+	for i, s := range r.streams {
+		s.Reset()
+		out[i] = s
 	}
 	return out
 }

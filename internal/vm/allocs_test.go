@@ -1,0 +1,54 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestTranslateFastPathZeroAllocs pins the per-reference translation
+// cost at zero heap allocations: the hot path is a dense-table load, so
+// any allocation that creeps in (map probe, boxing, fmt in the hit
+// path) is a regression the engine pays millions of times per sweep.
+func TestTranslateFastPathZeroAllocs(t *testing.T) {
+	as, vas := benchSpace(t)
+	i := 0
+	if n := testing.AllocsPerRun(2000, func() {
+		if _, err := as.TranslateLine(vas[i&(len(vas)-1)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); n != 0 {
+		t.Errorf("TranslateLine fast path allocates %.1f objects per call, want 0", n)
+	}
+	i = 0
+	if n := testing.AllocsPerRun(2000, func() {
+		if _, err := as.Translate(vas[i&(len(vas)-1)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); n != 0 {
+		t.Errorf("Translate fast path allocates %.1f objects per call, want 0", n)
+	}
+}
+
+// TestTranslateFaultPathBounded pins that even the fault path (first
+// touch) does not allocate per page beyond the table itself: faulting a
+// fresh page writes one dense-table entry.
+func TestTranslateFaultPathBounded(t *testing.T) {
+	k := NewKernel(geom.Default().Chunks())
+	as := k.NewAddressSpace()
+	start, err := as.Mmap(1<<20, 0, "fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := 0
+	if n := testing.AllocsPerRun(255, func() {
+		if _, err := as.Translate(start + VA(page*geom.PageBytes)); err != nil {
+			t.Fatal(err)
+		}
+		page++
+	}); n != 0 {
+		t.Errorf("fault path allocates %.1f objects per page, want 0", n)
+	}
+}

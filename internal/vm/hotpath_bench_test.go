@@ -1,0 +1,55 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// benchSpace returns a populated 64 MB address space and a line-granular
+// VA schedule that touches every page of the region.
+func benchSpace(tb testing.TB) (*AddressSpace, []VA) {
+	tb.Helper()
+	k := NewKernel(geom.Default().Chunks())
+	as := k.NewAddressSpace()
+	const size = 64 << 20
+	start, err := as.Mmap(size, 0, "bench")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := as.Populate(start); err != nil {
+		tb.Fatal(err)
+	}
+	vas := make([]VA, 8192)
+	for i := range vas {
+		// Large odd stride: jumps pages every reference, defeating any
+		// single-entry translation reuse without leaving the region.
+		vas[i] = start + VA(uint64(i)*geom.PageBytes*37%size)
+	}
+	return as, vas
+}
+
+// BenchmarkHotPathTranslateLine measures the translation fast path —
+// the VPN lookup every simulated reference pays. ns/op here is ns/ref
+// for the vm layer alone; -benchmem pins its allocation behavior.
+func BenchmarkHotPathTranslateLine(b *testing.B) {
+	as, vas := benchSpace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := as.TranslateLine(vas[i&(len(vas)-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotPathTranslate measures the byte-address translation fast
+// path used by Machine.Touch and the fault-in slow path's callers.
+func BenchmarkHotPathTranslate(b *testing.B) {
+	as, vas := benchSpace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := as.Translate(vas[i&(len(vas)-1)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

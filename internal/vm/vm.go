@@ -78,7 +78,6 @@ func (k *Kernel) NewAddressSpace() *AddressSpace {
 		kernel: k,
 		pid:    k.nextID,
 		cursor: VA(4) << 30,
-		pages:  make(map[uint64]chunk.Frame),
 	}
 	k.spaces = append(k.spaces, as)
 	return as
@@ -91,7 +90,7 @@ func (k *Kernel) Stats() KernelStats {
 	s.TotalChunks = k.Phys.Chunks()
 	s.LiveMappings = k.Table.LiveMappings()
 	for _, as := range k.spaces {
-		s.MappedPages += len(as.pages)
+		s.MappedPages += as.mapped
 		s.Faults += as.faults
 	}
 	return s
@@ -117,12 +116,21 @@ type VMA struct {
 func (v VMA) Len() uint64 { return uint64(v.End - v.Start) }
 
 // AddressSpace is one process's virtual memory.
+//
+// The page table is a dense VPN-indexed slice rather than a map: frames[i]
+// holds frame+1 for VPN ptBase+i (0 = not populated). Mmap grows the table
+// to cover every VMA up front, so the translation hot path is a single
+// bounds-checked load with no hashing and no allocation. The unsigned
+// subtraction in the fast path routes VPNs below ptBase out of range
+// (they wrap to huge indexes) and into the slow path.
 type AddressSpace struct {
 	kernel *Kernel
 	pid    int
 	cursor VA
-	vmas   []VMA // sorted by Start
-	pages  map[uint64]chunk.Frame
+	vmas   []VMA    // sorted by Start
+	ptBase uint64   // VPN of frames[0]
+	frames []uint64 // frame+1 per VPN; 0 means unmapped
+	mapped int      // populated entries in frames
 	faults uint64
 }
 
@@ -145,7 +153,38 @@ func (as *AddressSpace) Mmap(length uint64, mapID int, label string) (VA, error)
 	end := start + VA(pages*geom.PageBytes)
 	as.cursor = end + geom.PageBytes // guard page between areas
 	as.vmas = append(as.vmas, VMA{Start: start, End: end, MapID: mapID, Label: label})
+	as.growTable(start.VPN(), end.VPN())
 	return start, nil
+}
+
+// growTable extends the dense frame table to cover VPNs [lo, hi). Guard
+// pages between VMAs leave permanently-zero entries, a small space cost
+// for keeping every lookup a single index.
+func (as *AddressSpace) growTable(lo, hi uint64) {
+	if len(as.frames) == 0 {
+		as.ptBase = lo
+		as.frames = make([]uint64, hi-lo)
+		return
+	}
+	if lo < as.ptBase {
+		// The mmap cursor is monotonic so this does not happen today,
+		// but keep the table correct if VMA placement ever changes.
+		grown := make([]uint64, uint64(len(as.frames))+(as.ptBase-lo))
+		copy(grown[as.ptBase-lo:], as.frames)
+		as.frames = grown
+		as.ptBase = lo
+	}
+	if n := hi - as.ptBase; n > uint64(len(as.frames)) {
+		as.frames = append(as.frames, make([]uint64, n-uint64(len(as.frames)))...)
+	}
+}
+
+// frameFor returns the frame backing vpn, if populated.
+func (as *AddressSpace) frameFor(vpn uint64) (chunk.Frame, bool) {
+	if idx := vpn - as.ptBase; idx < uint64(len(as.frames)) && as.frames[idx] != 0 {
+		return chunk.Frame(as.frames[idx] - 1), true
+	}
+	return 0, false
 }
 
 // Munmap releases a VMA created by Mmap, freeing any populated frames.
@@ -155,11 +194,12 @@ func (as *AddressSpace) Munmap(start VA) error {
 			continue
 		}
 		for vpn := v.Start.VPN(); vpn < v.End.VPN(); vpn++ {
-			if f, ok := as.pages[vpn]; ok {
+			if f, ok := as.frameFor(vpn); ok {
 				if err := as.kernel.Phys.FreeFrame(f); err != nil {
 					return err
 				}
-				delete(as.pages, vpn)
+				as.frames[vpn-as.ptBase] = 0
+				as.mapped--
 			}
 		}
 		as.vmas = append(as.vmas[:i], as.vmas[i+1:]...)
@@ -178,13 +218,21 @@ func (as *AddressSpace) FindVMA(va VA) *VMA {
 }
 
 // Translate resolves a VA to a physical byte address, faulting the page
-// in on first access. This is the page-fault-handler path of §6.1: the
-// frame comes from the chunk group of the VMA's mapping ID.
+// in on first access. The hit path is a single dense-table load, small
+// enough to inline into callers; misses fall through to translateSlow,
+// the page-fault-handler path of §6.1.
 func (as *AddressSpace) Translate(va VA) (uint64, error) {
-	vpn := va.VPN()
-	if f, ok := as.pages[vpn]; ok {
-		return f.PA() | va.PageOffset(), nil
+	if idx := va.VPN() - as.ptBase; idx < uint64(len(as.frames)) {
+		if e := as.frames[idx]; e != 0 {
+			return (e-1)<<geom.PageShift | va.PageOffset(), nil
+		}
 	}
+	return as.translateSlow(va)
+}
+
+// translateSlow handles the first touch of a page: the frame comes from
+// the chunk group of the enclosing VMA's mapping ID.
+func (as *AddressSpace) translateSlow(va VA) (uint64, error) {
 	v := as.FindVMA(va)
 	if v == nil {
 		return 0, fmt.Errorf("vm: segmentation fault at %#x (pid %d)", uint64(va), as.pid)
@@ -193,15 +241,22 @@ func (as *AddressSpace) Translate(va VA) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("vm: page fault at %#x: %w", uint64(va), err)
 	}
-	as.pages[vpn] = f
+	as.frames[va.VPN()-as.ptBase] = uint64(f) + 1
+	as.mapped++
 	as.faults++
 	return f.PA() | va.PageOffset(), nil
 }
 
 // TranslateLine resolves a VA to the cache-line physical address the
-// memory controller consumes.
+// memory controller consumes. The hit path shifts the cached frame
+// directly — no second table probe, no byte-address round trip.
 func (as *AddressSpace) TranslateLine(va VA) (geom.LineAddr, error) {
-	pa, err := as.Translate(va)
+	if idx := va.VPN() - as.ptBase; idx < uint64(len(as.frames)) {
+		if e := as.frames[idx]; e != 0 {
+			return geom.LineAddr(((e-1)<<geom.PageShift | va.PageOffset()) >> geom.LineShift), nil
+		}
+	}
+	pa, err := as.translateSlow(va)
 	if err != nil {
 		return 0, err
 	}
@@ -233,7 +288,7 @@ func (as *AddressSpace) Remap(start VA, newMapID int) (int, error) {
 	}
 	migrated := 0
 	for vpn := v.Start.VPN(); vpn < v.End.VPN(); vpn++ {
-		old, ok := as.pages[vpn]
+		old, ok := as.frameFor(vpn)
 		if !ok {
 			continue
 		}
@@ -244,7 +299,7 @@ func (as *AddressSpace) Remap(start VA, newMapID int) (int, error) {
 		if err := as.kernel.Phys.FreeFrame(old); err != nil {
 			return migrated, err
 		}
-		as.pages[vpn] = fresh
+		as.frames[vpn-as.ptBase] = uint64(fresh) + 1
 		migrated++
 	}
 	v.MapID = newMapID
@@ -280,16 +335,15 @@ func (as *AddressSpace) Faults() uint64 { return as.faults }
 // lies in a VMA, its frame's chunk carries the VMA's mapping, and no
 // frame backs two pages (DESIGN.md invariants 4-5).
 func (as *AddressSpace) CheckInvariants() error {
-	// Check pages in sorted order so the first invariant violation
-	// reported is always the same one, run to run.
-	vpns := make([]uint64, 0, len(as.pages))
-	for vpn := range as.pages {
-		vpns = append(vpns, vpn)
-	}
-	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
-	seen := make(map[chunk.Frame]uint64, len(as.pages))
-	for _, vpn := range vpns {
-		f := as.pages[vpn]
+	// The dense table is naturally in VPN order, so the first invariant
+	// violation reported is always the same one, run to run.
+	seen := make(map[chunk.Frame]uint64, as.mapped)
+	for idx, e := range as.frames {
+		if e == 0 {
+			continue
+		}
+		vpn := as.ptBase + uint64(idx)
+		f := chunk.Frame(e - 1)
 		va := VA(vpn << geom.PageShift)
 		v := as.FindVMA(va)
 		if v == nil {

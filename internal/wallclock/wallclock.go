@@ -8,7 +8,10 @@
 // legitimate exception is the offline profiling cost the paper's Fig 13
 // reports (Selection.ProfilingTime, Result.ProfilingTime): a measured
 // wall-clock duration that is nondeterministic by nature and explicitly
-// normalized away by the determinism regression tests.
+// normalized away by the determinism regression tests. Host-cost
+// reporting tools (sdambench -json, the recorded perf trajectory) use
+// the same escape hatch: they measure host time around simulation
+// calls, never feed it back in.
 //
 // Routing that one exception through this package keeps the escape
 // hatch auditable: the only two seededrand suppressions in the tree

@@ -211,19 +211,24 @@ type varRef struct {
 }
 
 // mixStream interleaves several variables' reference generators
-// according to a deterministic weighted schedule.
+// according to a deterministic weighted schedule. It generates
+// references incrementally (cpu.BatchStream), so a multi-million-entry
+// stream is never materialized, and it can Reset for replay because the
+// whole emission is a function of the stored seed.
 type mixStream struct {
 	vars      []varRef
 	states    []PatternState
 	schedule  []int
 	pos       int
 	remaining int
+	n         int   // total references, for Reset
+	seed      int64 // pattern-state seed, for Reset
 }
 
 // newMixStream builds a stream of n references over the variables,
 // scheduled by weight.
 func newMixStream(vars []varRef, n int, seed int64) *mixStream {
-	ms := &mixStream{vars: vars, remaining: n}
+	ms := &mixStream{vars: vars, remaining: n, n: n, seed: seed}
 	ms.states = make([]PatternState, len(vars))
 	for i, v := range vars {
 		ms.states[i] = v.pattern.NewState(v.bytes, seed+int64(i))
@@ -279,4 +284,45 @@ func (ms *mixStream) Next() (cpu.Ref, bool) {
 		off = 0
 	}
 	return cpu.Ref{VA: v.base + vm.VA(off), PC: v.pc}, true
+}
+
+// NextBatch implements cpu.BatchStream: the same emission as repeated
+// Next calls, produced with the schedule wrap hoisted out of the
+// per-reference work.
+func (ms *mixStream) NextBatch(buf []cpu.Ref) int {
+	n := len(buf)
+	if n > ms.remaining {
+		n = ms.remaining
+	}
+	if n <= 0 || len(ms.schedule) == 0 {
+		return 0
+	}
+	pos := ms.pos % len(ms.schedule)
+	for k := 0; k < n; k++ {
+		i := ms.schedule[pos]
+		pos++
+		if pos == len(ms.schedule) {
+			pos = 0
+		}
+		v := &ms.vars[i]
+		off := ms.states[i].Next()
+		if off >= v.bytes {
+			off = 0
+		}
+		buf[k] = cpu.Ref{VA: v.base + vm.VA(off), PC: v.pc}
+	}
+	ms.pos += n
+	ms.remaining -= n
+	return n
+}
+
+// Reset rewinds the stream to its initial state: the schedule is
+// already a pure function of the construction seed, and the pattern
+// states are rebuilt from it.
+func (ms *mixStream) Reset() {
+	ms.pos = 0
+	ms.remaining = ms.n
+	for i, v := range ms.vars {
+		ms.states[i] = v.pattern.NewState(v.bytes, ms.seed+int64(i))
+	}
 }
