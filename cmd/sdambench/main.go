@@ -5,14 +5,22 @@
 // Usage:
 //
 //	sdambench [-engine cpu|accel] [-cores n] [-clusters n] [-refs n]
-//	          [-hbmdiv f] [-jobs n] [-json file] <benchmark>|standard|data
+//	          [-hbmdiv f] [-jobs n] [-bench list] [-json file]
+//	          [-baseline file] <benchmark>|standard|data
 //
 // -jobs bounds how many simulation cells run concurrently (0 means
-// GOMAXPROCS). -json additionally times every (benchmark, config) cell
-// and the parallel sweep, and writes the measurements — host ns per
-// simulated reference per configuration plus sweep wall-clock — to the
-// named file (conventionally BENCH_hotpath.json, the repo's recorded
-// perf trajectory; see README "Performance").
+// GOMAXPROCS). -bench selects a comma-separated benchmark list,
+// overriding the positional argument, so JSON sweeps can cover several
+// benchmarks in one file. -json additionally times every (benchmark,
+// config) cell and the parallel sweep, and writes the measurements —
+// host ns per simulated reference per configuration, split into
+// selection and simulation time, plus sweep wall-clock — to the named
+// file (conventionally BENCH_hotpath.json, the repo's recorded perf
+// trajectory; see README "Performance"). -baseline compares the fresh
+// measurements against a committed report and exits non-zero when any
+// non-DL cell regressed more than 3x in ns/ref — the CI smoke against
+// hot-path regressions (DL cells are exempt: their absolute cost is
+// training-budget policy, tracked by the trajectory file instead).
 package main
 
 import (
@@ -34,9 +42,16 @@ type benchCell struct {
 	// for the whole cell (profiling pass, selection, and evaluation pass
 	// where the configuration has them) — the sweep-cost view of the
 	// per-reference hot path.
-	NsPerRef        float64 `json:"ns_per_ref"`
-	References      uint64  `json:"references"`
-	WallMs          float64 `json:"wall_ms"`
+	NsPerRef   float64 `json:"ns_per_ref"`
+	References uint64  `json:"references"`
+	WallMs     float64 `json:"wall_ms"`
+	// SelectMs is the mapping-selection share of WallMs (profiling-time
+	// clustering/training); SimMs is the remainder — the profiling and
+	// evaluation passes through the simulator. SelectJobs records the
+	// worker budget the selection pipeline ran under.
+	SelectMs        float64 `json:"select_ms"`
+	SimMs           float64 `json:"sim_ms"`
+	SelectJobs      int     `json:"select_jobs"`
 	SpeedupOverBSDM float64 `json:"speedup_over_bsdm"`
 }
 
@@ -62,9 +77,11 @@ func main() {
 	refs := flag.Int("refs", 80_000, "per-run reference budget")
 	hbmdiv := flag.Float64("hbmdiv", 1, "HBM frequency divider (Fig 14)")
 	jobs := flag.Int("jobs", 0, "max concurrent simulation cells (0 = GOMAXPROCS)")
+	bench := flag.String("bench", "", "comma-separated benchmarks to sweep (overrides the positional argument)")
 	jsonPath := flag.String("json", "", "also time each cell and write perf measurements to this file")
+	baseline := flag.String("baseline", "", "committed -json report to diff against; >3x ns/ref regressions in non-DL cells fail")
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() != 1 && *bench == "" {
 		fmt.Fprintln(os.Stderr, "usage: sdambench [flags] <benchmark>|standard|data")
 		flag.PrintDefaults()
 		os.Exit(2)
@@ -83,10 +100,16 @@ func main() {
 	}
 
 	var names []string
-	switch flag.Arg(0) {
-	case "standard":
+	switch {
+	case *bench != "":
+		for _, n := range strings.Split(*bench, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	case flag.Arg(0) == "standard":
 		names = sdam.ProxyNames()
-	case "data":
+	case flag.Arg(0) == "data":
 		names = sdam.KernelNames()
 	default:
 		names = []string{flag.Arg(0)}
@@ -97,7 +120,7 @@ func main() {
 
 	if *jsonPath != "" {
 		rep := benchReport{
-			Schema: 1, Engine: eng.Name, Cores: *cores,
+			Schema: 2, Engine: eng.Name, Cores: *cores,
 			Refs: *refs, Clusters: *clusters, Jobs: sdam.Jobs(),
 		}
 		runTimed(&rep, names, base, kinds, *refs)
@@ -110,7 +133,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
 			os.Exit(1)
 		}
+		if *baseline != "" {
+			if err := checkBaseline(rep, *baseline); err != nil {
+				fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("baseline check vs %s: ok\n", *baseline)
+		}
 		return
+	}
+	if *baseline != "" {
+		fmt.Fprintln(os.Stderr, "sdambench: -baseline requires -json")
+		os.Exit(2)
 	}
 
 	printHeader(kinds)
@@ -171,13 +205,17 @@ func runTimed(rep *benchReport, names []string, base sdam.Options, kinds []sdam.
 				os.Exit(1)
 			}
 			results = append(results, r)
+			selectMs := float64(r.ProfilingTime.Microseconds()) / 1e3
 			cell := benchCell{
 				Benchmark:       name,
 				Config:          k.String(),
 				References:      r.Run.References,
 				WallMs:          float64(wall.Microseconds()) / 1e3,
+				SelectMs:        selectMs,
+				SelectJobs:      sdam.Jobs(),
 				SpeedupOverBSDM: r.SpeedupOver(results[0]),
 			}
+			cell.SimMs = cell.WallMs - cell.SelectMs
 			if r.Run.References > 0 {
 				cell.NsPerRef = float64(wall.Nanoseconds()) / float64(r.Run.References)
 			}
@@ -199,6 +237,50 @@ func runTimed(rep *benchReport, names []string, base sdam.Options, kinds []sdam.
 	}
 	rep.SweepWallMs = float64(wallclock.Since(start).Microseconds()) / 1e3
 	fmt.Printf("parallel sweep (%d jobs): %.1f ms\n", rep.Jobs, rep.SweepWallMs)
+}
+
+// checkBaseline diffs fresh cell timings against a committed report and
+// errors when a matching non-DL cell regressed more than 3x in ns/ref.
+// The threshold is deliberately loose — host timing on shared CI is
+// noisy — so only order-of-magnitude hot-path regressions trip it. DL
+// cells are exempt: their cost is dominated by the training budget,
+// a policy knob the trajectory file tracks rather than gates.
+func checkBaseline(rep benchReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	// ns/ref folds fixed per-cell costs (workload generation, setup)
+	// over the reference count, so reports from different budgets or
+	// machines models are not comparable.
+	if base.Refs != rep.Refs || base.Engine != rep.Engine || base.Cores != rep.Cores {
+		return fmt.Errorf("baseline %s measured with -refs %d -engine %s -cores %d; this run used -refs %d -engine %s -cores %d (not comparable)",
+			path, base.Refs, base.Engine, base.Cores, rep.Refs, rep.Engine, rep.Cores)
+	}
+	type key struct{ bench, config string }
+	baseNs := make(map[key]float64, len(base.Cells))
+	for _, c := range base.Cells {
+		baseNs[key{c.Benchmark, c.Config}] = c.NsPerRef
+	}
+	var fails []string
+	for _, c := range rep.Cells {
+		if strings.Contains(c.Config, "DL") {
+			continue
+		}
+		b, ok := baseNs[key{c.Benchmark, c.Config}]
+		if ok && b > 0 && c.NsPerRef > 3*b {
+			fails = append(fails, fmt.Sprintf("%s/%s: %.0f ns/ref vs baseline %.0f (%.1fx)",
+				c.Benchmark, c.Config, c.NsPerRef, b, c.NsPerRef/b))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("baseline regression:\n  %s", strings.Join(fails, "\n  "))
+	}
+	return nil
 }
 
 // buildBench resolves a benchmark name, additionally accepting

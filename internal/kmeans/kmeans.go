@@ -3,12 +3,21 @@
 // code clusters 15-dimensional bit-flip-rate vectors (the classic SDAM
 // selector) and 256-dimensional learned embeddings (the DL-assisted
 // selector).
+//
+// The assignment step — the O(n·k·dim) bulk of the work — fans points
+// out over the parallel worker pool. Each point's nearest centroid is a
+// pure function of (point, centroids) written to that point's own slot,
+// and every floating-point reduction (loss, centroid sums, silhouette
+// totals) runs serially in ascending point order afterwards, so results
+// are bit-identical at any -jobs count.
 package kmeans
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/parallel"
 )
 
 // Result holds a clustering outcome.
@@ -39,6 +48,63 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// eachPoint runs fn(i) for every point index, fanning contiguous chunks
+// out over the worker pool. fn must write only state owned by index i;
+// chunk boundaries then cannot affect any value, so the fill is
+// bit-identical at any worker count.
+func eachPoint(n int, fn func(i int)) {
+	workers := parallel.Jobs()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	spans := make([][2]int, 0, workers)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, [2]int{lo, hi})
+	}
+	parallel.Map(spans, func(_ int, s [2]int) (struct{}, error) {
+		for i := s[0]; i < s[1]; i++ {
+			fn(i)
+		}
+		return struct{}{}, nil
+	})
+}
+
+// nearest is the assignment kernel: the index and squared distance of
+// the centroid closest to p. It performs no allocations.
+func nearest(p []float64, centroids [][]float64) (int, float64) {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range centroids {
+		if d := dist2(p, cent); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// assignAll fills assign[i]/bestD[i] with each point's nearest centroid
+// concurrently, then returns the loss summed serially in point order.
+func assignAll(points, centroids [][]float64, assign []int, bestD []float64) float64 {
+	eachPoint(len(points), func(i int) {
+		assign[i], bestD[i] = nearest(points[i], centroids)
+	})
+	var loss float64
+	for _, d := range bestD {
+		loss += d
+	}
+	return loss
+}
+
 // Cluster partitions points into k clusters minimizing the within-cluster
 // sum of squared distances (Eq. 2's L_cluster).
 func Cluster(points [][]float64, k int, opts Options) (Result, error) {
@@ -62,22 +128,13 @@ func Cluster(points [][]float64, k int, opts Options) (Result, error) {
 
 	centroids := seedPlusPlus(points, k, r)
 	assign := make([]int, len(points))
+	bestD := make([]float64, len(points))
 	prevLoss := math.Inf(1)
 	var loss float64
 	var iter int
 	for iter = 1; iter <= opts.MaxIterations; iter++ {
-		loss = 0
-		for i, p := range points {
-			best, bestD := 0, math.Inf(1)
-			for c, cent := range centroids {
-				if d := dist2(p, cent); d < bestD {
-					best, bestD = c, d
-				}
-			}
-			assign[i] = best
-			loss += bestD
-		}
-		// Update step.
+		loss = assignAll(points, centroids, assign, bestD)
+		// Update step: serial accumulation in point order.
 		counts := make([]int, k)
 		next := make([][]float64, k)
 		for c := range next {
@@ -92,11 +149,12 @@ func Cluster(points [][]float64, k int, opts Options) (Result, error) {
 		}
 		for c := range next {
 			if counts[c] == 0 {
-				// Re-seed an empty cluster at the point farthest from
-				// its centroid to avoid dead centroids.
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid to avoid dead centroids. bestD already holds
+				// each point's distance to its owning centroid.
 				far, farD := 0, -1.0
-				for i, p := range points {
-					if d := dist2(p, centroids[assign[i]]); d > farD {
+				for i, d := range bestD {
+					if d > farD {
 						far, farD = i, d
 					}
 				}
@@ -115,36 +173,32 @@ func Cluster(points [][]float64, k int, opts Options) (Result, error) {
 	}
 	// Final assignment pass so the returned assignment and loss reflect
 	// the returned (post-update) centroids.
-	loss = 0
-	for i, p := range points {
-		best, bestD := 0, math.Inf(1)
-		for c, cent := range centroids {
-			if d := dist2(p, cent); d < bestD {
-				best, bestD = c, d
-			}
-		}
-		assign[i] = best
-		loss += bestD
-	}
+	loss = assignAll(points, centroids, assign, bestD)
 	return Result{Centroids: centroids, Assignment: assign, Loss: loss, Iterations: iter}, nil
 }
 
-// seedPlusPlus picks initial centroids with k-means++ weighting.
+// seedPlusPlus picks initial centroids with k-means++ weighting. The
+// per-point distance-to-nearest-centroid is maintained incrementally —
+// each round takes the min of the stored distance and the distance to
+// the newest centroid, which equals the full recomputed min exactly
+// (min over the same exact values) at a k-fold saving.
 func seedPlusPlus(points [][]float64, k int, r *rand.Rand) [][]float64 {
 	centroids := make([][]float64, 0, k)
 	centroids = append(centroids, clone(points[r.Intn(len(points))]))
 	d2 := make([]float64, len(points))
+	for i := range d2 {
+		d2[i] = math.Inf(1)
+	}
 	for len(centroids) < k {
-		var sum float64
-		for i, p := range points {
-			best := math.Inf(1)
-			for _, c := range centroids {
-				if d := dist2(p, c); d < best {
-					best = d
-				}
+		newest := centroids[len(centroids)-1]
+		eachPoint(len(points), func(i int) {
+			if d := dist2(points[i], newest); d < d2[i] {
+				d2[i] = d
 			}
-			d2[i] = best
-			sum += best
+		})
+		var sum float64
+		for _, d := range d2 {
+			sum += d
 		}
 		if sum == 0 {
 			// All points coincide with centroids; duplicate any point.
@@ -191,40 +245,63 @@ func AssignLoss(points [][]float64, centroids [][]float64, assign []int) float64
 // Silhouette returns the mean silhouette coefficient of a clustering —
 // the standard [-1, 1] quality score comparing each point's cohesion to
 // its separation. Single-member clusters contribute zero.
+//
+// One pass over the other points buckets distances by cluster (O(n) per
+// point instead of the naive O(n·k)); per-bucket sums accumulate in
+// ascending j order — the same addition order per cluster as a
+// cluster-at-a-time sweep — and the per-point scores reduce serially in
+// point order, so the score is independent of the worker count.
 func Silhouette(points [][]float64, assign []int, k int) float64 {
 	if len(points) < 2 || k < 2 {
 		return 0
 	}
-	var total float64
-	for i, p := range points {
-		var aSum, aN float64
-		bBest := math.Inf(1)
+	n := len(points)
+	workers := parallel.Jobs()
+	if workers > n {
+		workers = n
+	}
+	sums := make([][]float64, workers)
+	counts := make([][]float64, workers)
+	for w := 0; w < workers; w++ {
+		sums[w] = make([]float64, k)
+		counts[w] = make([]float64, k)
+	}
+	scores := make([]float64, n)
+	parallel.MapNWorker(workers, points, func(w, i int, p []float64) (struct{}, error) {
+		sum, cnt := sums[w], counts[w]
 		for c := 0; c < k; c++ {
-			var sum float64
-			var n float64
-			for j, q := range points {
-				if assign[j] != c || i == j {
-					continue
-				}
-				sum += math.Sqrt(dist2(p, q))
-				n++
-			}
-			if c == assign[i] {
-				aSum, aN = sum, n
+			sum[c], cnt[c] = 0, 0
+		}
+		for j, q := range points {
+			if i == j {
 				continue
 			}
-			if n > 0 && sum/n < bBest {
-				bBest = sum / n
+			c := assign[j]
+			sum[c] += math.Sqrt(dist2(p, q))
+			cnt[c]++
+		}
+		own := assign[i]
+		bBest := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own {
+				continue
+			}
+			if cnt[c] > 0 && sum[c]/cnt[c] < bBest {
+				bBest = sum[c] / cnt[c]
 			}
 		}
-		if aN == 0 || math.IsInf(bBest, 1) {
-			continue // singleton or no other cluster: neutral
+		if cnt[own] == 0 || math.IsInf(bBest, 1) {
+			return struct{}{}, nil // singleton or no other cluster: neutral
 		}
-		a := aSum / aN
-		s := (bBest - a) / math.Max(a, bBest)
+		a := sum[own] / cnt[own]
+		scores[i] = (bBest - a) / math.Max(a, bBest)
+		return struct{}{}, nil
+	})
+	var total float64
+	for _, s := range scores {
 		total += s
 	}
-	return total / float64(len(points))
+	return total / float64(n)
 }
 
 // ChooseK clusters at every k in [2, maxK] and returns the clustering

@@ -4,10 +4,21 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/kmeans"
+	"repro/internal/parallel"
 )
+
+// trainSteps counts sequence-gradient evaluations (stepIn calls)
+// process-wide. The selection cache's tests read it to prove a cached
+// selection performed zero additional training work.
+var trainSteps atomic.Uint64
+
+// TrainSteps returns the number of training-step (per-sequence
+// forward/backward) evaluations performed by this process so far.
+func TrainSteps() uint64 { return trainSteps.Load() }
 
 // Sequence is one training sample for the embedding model: a window of
 // consecutive (Δ, VID) pairs from the profiled access trace (Fig 9).
@@ -86,18 +97,24 @@ func (m *Autoencoder) Params() []*Param {
 	return ps
 }
 
+// shadow returns an Autoencoder sharing m's weights but with private
+// gradient buffers — one batch slot's view during parallel training.
+func (m *Autoencoder) shadow() *Autoencoder {
+	return &Autoencoder{
+		cfg:      m.cfg,
+		deltaEmb: m.deltaEmb.shadow(),
+		vidEmb:   shadowParam(m.vidEmb),
+		enc:      m.enc.shadow(),
+		dec:      m.dec.shadow(),
+		out:      m.out.shadow(),
+	}
+}
+
 // EmbeddingDim returns the dimensionality of learned embeddings.
 func (m *Autoencoder) EmbeddingDim() int { return m.cfg.Hidden }
 
-func (m *Autoencoder) bitsOf(delta uint32) []float64 {
-	bits := make([]float64, m.cfg.DeltaBits)
-	for b := 0; b < m.cfg.DeltaBits; b++ {
-		bits[b] = float64(delta >> b & 1)
-	}
-	return bits
-}
-
-// forward caches everything a backward pass needs.
+// forward caches everything a backward pass needs. Its slices alias the
+// owning stepScratch and are valid until that scratch's next use.
 type fwd struct {
 	bitVecs  [][]float64
 	embs     [][]float64 // concatenated Δ/VID embeddings per step
@@ -109,42 +126,132 @@ type fwd struct {
 	probs    [][]float64
 }
 
-func (m *Autoencoder) forward(s Sequence) *fwd {
-	E := m.cfg.EmbDim
-	f := &fwd{}
-	f.bitVecs = make([][]float64, len(s.Deltas))
-	f.embs = make([][]float64, len(s.Deltas))
-	for t, d := range s.Deltas {
-		f.bitVecs[t] = m.bitsOf(d)
-		de := m.deltaEmb.Forward(f.bitVecs[t])
-		vid := s.VIDs[t] % m.cfg.NumVIDs
-		cat := make([]float64, 2*E)
-		copy(cat, de)
-		copy(cat[E:], m.vidEmb.W[vid*E:(vid+1)*E])
-		f.embs[t] = cat
+// stepScratch is the reusable workspace of one training/embedding
+// worker: every buffer a forward and backward pass needs, allocated
+// once and rewritten per call, so the steady-state step performs zero
+// allocations. Each concurrent worker (or batch slot) owns its own.
+type stepScratch struct {
+	fwd
+	maxT int
+
+	bitsAll   [][]float64
+	embsAll   [][]float64
+	logitsAll [][]float64
+	probsAll  [][]float64
+	decIn     [][]float64
+	dDecOuts  [][]float64
+	dEncOuts  [][]float64
+	enc, dec  *StackState
+	dLogit    []float64
+	dh        []float64
+}
+
+// newScratch allocates a workspace for sequences up to maxT steps.
+func (m *Autoencoder) newScratch(maxT int) *stepScratch {
+	sc := &stepScratch{}
+	sc.alloc(m, maxT)
+	return sc
+}
+
+func (sc *stepScratch) alloc(m *Autoencoder, maxT int) {
+	if maxT < 1 {
+		maxT = 1
 	}
-	var encOuts [][]float64
-	f.encState, encOuts = m.enc.Forward(f.embs)
+	DB, E, H := m.cfg.DeltaBits, m.cfg.EmbDim, m.cfg.Hidden
+	sc.maxT = maxT
+	mat := func(cols int) [][]float64 {
+		buf := make([]float64, maxT*cols)
+		rows := make([][]float64, maxT)
+		for t := range rows {
+			rows[t] = buf[t*cols : (t+1)*cols]
+		}
+		return rows
+	}
+	sc.bitsAll = mat(DB)
+	sc.embsAll = mat(2 * E)
+	sc.logitsAll = mat(DB)
+	sc.probsAll = mat(DB)
+	sc.dDecOuts = mat(H)
+	sc.decIn = make([][]float64, maxT)
+	sc.dEncOuts = make([][]float64, maxT)
+	sc.enc = m.enc.NewState(maxT)
+	sc.dec = m.dec.NewState(maxT)
+	sc.dLogit = make([]float64, DB)
+	sc.dh = make([]float64, H)
+}
+
+func (sc *stepScratch) ensure(m *Autoencoder, T int) {
+	if T > sc.maxT {
+		sc.alloc(m, T)
+	}
+}
+
+// embedInputs fills the per-step bit vectors and concatenated Δ/VID
+// embeddings for s into the scratch, returning the input rows.
+func (m *Autoencoder) embedInputs(sc *stepScratch, s Sequence) [][]float64 {
+	E := m.cfg.EmbDim
+	T := len(s.Deltas)
+	sc.ensure(m, T)
+	f := &sc.fwd
+	f.bitVecs = sc.bitsAll[:T]
+	f.embs = sc.embsAll[:T]
+	for t, d := range s.Deltas {
+		bits := f.bitVecs[t]
+		for b := 0; b < m.cfg.DeltaBits; b++ {
+			bits[b] = float64(d >> b & 1)
+		}
+		cat := f.embs[t]
+		m.deltaEmb.ForwardIn(cat[:E], bits)
+		vid := s.VIDs[t] % m.cfg.NumVIDs
+		copy(cat[E:], m.vidEmb.W[vid*E:(vid+1)*E])
+	}
+	return f.embs
+}
+
+// encodeIn runs the encoder half only — all an embedding needs; the
+// decoder never feeds back into h, so skipping it is bit-identical.
+// The returned vector aliases the scratch.
+func (m *Autoencoder) encodeIn(sc *stepScratch, s Sequence) []float64 {
+	embs := m.embedInputs(sc, s)
+	encOuts := m.enc.ForwardIn(sc.enc, embs)
+	sc.h = encOuts[len(encOuts)-1]
+	return sc.h
+}
+
+// forwardIn runs the full forward pass through the scratch.
+func (m *Autoencoder) forwardIn(sc *stepScratch, s Sequence) *fwd {
+	T := len(s.Deltas)
+	f := &sc.fwd
+	embs := m.embedInputs(sc, s)
+	f.encState = sc.enc
+	encOuts := m.enc.ForwardIn(sc.enc, embs)
 	f.h = encOuts[len(encOuts)-1]
 
 	// The decoder receives the embedding at every step (conditioning by
 	// repetition, the standard seq2seq autoencoder trick).
-	decIn := make([][]float64, len(s.Deltas))
+	decIn := sc.decIn[:T]
 	for t := range decIn {
 		decIn[t] = f.h
 	}
-	f.decState, f.decOuts = m.dec.Forward(decIn)
-	f.logits = make([][]float64, len(s.Deltas))
-	f.probs = make([][]float64, len(s.Deltas))
+	f.decState = sc.dec
+	f.decOuts = m.dec.ForwardIn(sc.dec, decIn)
+	f.logits = sc.logitsAll[:T]
+	f.probs = sc.probsAll[:T]
 	for t, hOut := range f.decOuts {
-		f.logits[t] = m.out.Forward(hOut)
-		p := make([]float64, len(f.logits[t]))
+		m.out.ForwardIn(f.logits[t], hOut)
+		p := f.probs[t]
 		for j, z := range f.logits[t] {
 			p[j] = sigmoid(z)
 		}
-		f.probs[t] = p
 	}
 	return f
+}
+
+// forward is forwardIn through a fresh workspace, for callers (tests,
+// gradient checks) that want an independent cache per call.
+func (m *Autoencoder) forward(s Sequence) *fwd {
+	sc := m.newScratch(len(s.Deltas))
+	return m.forwardIn(sc, s)
 }
 
 // reconLoss returns the Eq. 3 L1 reconstruction loss of a cached
@@ -169,24 +276,28 @@ func (m *Autoencoder) Embed(s Sequence) []float64 {
 	if len(s.Deltas) == 0 {
 		return make([]float64, m.cfg.Hidden)
 	}
-	f := m.forward(s)
-	out := make([]float64, len(f.h))
-	copy(out, f.h)
+	sc := m.newScratch(len(s.Deltas))
+	h := m.encodeIn(sc, s)
+	out := make([]float64, len(h))
+	copy(out, h)
 	return out
 }
 
-// step runs one training example: forward, loss, backward. centroid may
-// be nil (pure reconstruction); otherwise the joint objective
-// L = L_reconstruct + λ·‖h − μ‖² from §6.2 step 2 applies.
-func (m *Autoencoder) step(s Sequence, centroid []float64, lambda float64) float64 {
-	f := m.forward(s)
+// stepIn runs one training example through the scratch: forward, loss,
+// backward. centroid may be nil (pure reconstruction); otherwise the
+// joint objective L = L_reconstruct + λ·‖h − μ‖² from §6.2 step 2
+// applies. Gradients accumulate into m's params (the master model when
+// serial, a shadow slot when batched). Steady state allocates nothing.
+func (m *Autoencoder) stepIn(sc *stepScratch, s Sequence, centroid []float64, lambda float64) float64 {
+	trainSteps.Add(1)
+	f := m.forwardIn(sc, s)
 	T := len(s.Deltas)
 	nBits := float64(T * m.cfg.DeltaBits)
 
 	// Output layer backward: d|p-y|/dz = sign(p-y)·p·(1-p).
-	dDecOuts := make([][]float64, T)
+	dDecOuts := sc.dDecOuts[:T]
+	dLogit := sc.dLogit
 	for t := range f.probs {
-		dLogit := make([]float64, m.cfg.DeltaBits)
 		for j, p := range f.probs[t] {
 			sign := 1.0
 			if p < f.bitVecs[t][j] {
@@ -194,13 +305,16 @@ func (m *Autoencoder) step(s Sequence, centroid []float64, lambda float64) float
 			}
 			dLogit[j] = sign * p * (1 - p) / nBits
 		}
-		dDecOuts[t] = m.out.Backward(f.decOuts[t], dLogit)
+		m.out.BackwardIn(dDecOuts[t], f.decOuts[t], dLogit)
 	}
 	dDecIn := f.decState.Backward(dDecOuts)
 
 	// The embedding h received gradient from every decoder step plus,
 	// under the joint objective, the clustering pull 2λ(h−μ).
-	dh := make([]float64, m.cfg.Hidden)
+	dh := sc.dh
+	for j := range dh {
+		dh[j] = 0
+	}
 	for _, d := range dDecIn {
 		for j, g := range d {
 			dh[j] += g
@@ -217,20 +331,28 @@ func (m *Autoencoder) step(s Sequence, centroid []float64, lambda float64) float
 		loss += lambda * cl
 	}
 
-	dEncOuts := make([][]float64, T)
+	dEncOuts := sc.dEncOuts[:T]
+	for t := range dEncOuts {
+		dEncOuts[t] = nil
+	}
 	dEncOuts[T-1] = dh
 	dEmb := f.encState.Backward(dEncOuts)
 
 	// Embedding backward: split the concatenated gradient.
 	E := m.cfg.EmbDim
 	for t, d := range dEmb {
-		m.deltaEmb.Backward(f.bitVecs[t], d[:E])
+		m.deltaEmb.BackwardIn(nil, f.bitVecs[t], d[:E])
 		vid := s.VIDs[t] % m.cfg.NumVIDs
 		for j := 0; j < E; j++ {
 			m.vidEmb.Grad[vid*E+j] += d[E+j]
 		}
 	}
 	return loss
+}
+
+// step is stepIn through a fresh workspace (tests, gradient checks).
+func (m *Autoencoder) step(s Sequence, centroid []float64, lambda float64) float64 {
+	return m.stepIn(m.newScratch(len(s.Deltas)), s, centroid, lambda)
 }
 
 // TrainReport summarizes a training run.
@@ -241,16 +363,136 @@ type TrainReport struct {
 	ClusterLoss float64
 	Centroids   [][]float64
 	Assignment  []int // per input sequence
+	// Embeddings holds the final post-training embedding of every input
+	// sequence — the vectors the final clustering ran on. Callers that
+	// need per-sequence embeddings (the DL selector) reuse these instead
+	// of re-running an inference sweep.
+	Embeddings [][]float64
 }
 
 // TrainOptions drives TrainJoint.
 type TrainOptions struct {
-	Steps    int     // total optimizer steps; default 400
+	Steps    int     // optimizer steps; default 400
 	LR       float64 // default 0.001 (Table 2)
 	Lambda   float64 // joint-loss weight; default 0.01 (Table 2)
 	K        int     // clusters; required for the joint phase
 	Reassign int     // recompute K-Means every this many joint steps; default 50
 	Seed     int64
+	// Batch is the number of sequences per optimizer step; default 1
+	// (the classic stochastic loop). With Batch > 1 the per-sequence
+	// gradients are computed concurrently into per-slot buffers and
+	// reduced in slot order — the mean batch gradient is bit-identical
+	// at any worker count because the reduction order is fixed.
+	Batch int
+}
+
+// trainer owns the per-slot shadows and scratches of one TrainJoint
+// run. Slot b's gradient always accumulates in slot b's buffers no
+// matter which worker computes it, so the reduction order — slot 0
+// first, then 1, ... — is independent of scheduling.
+type trainer struct {
+	master  *Autoencoder
+	slots   []*Autoencoder
+	scr     []*stepScratch
+	mParams []*Param
+	sParams [][]*Param
+	losses  []float64
+	maxT    int
+	embScr  []*stepScratch // per-worker scratch for embedding sweeps
+}
+
+func newTrainer(m *Autoencoder, batch, maxT int) *trainer {
+	tr := &trainer{master: m, maxT: maxT, losses: make([]float64, batch)}
+	if batch == 1 {
+		// Serial fast path: gradients accumulate directly into the
+		// master, exactly the classic loop.
+		tr.slots = []*Autoencoder{m}
+		tr.scr = []*stepScratch{m.newScratch(maxT)}
+		return tr
+	}
+	tr.mParams = m.Params()
+	for b := 0; b < batch; b++ {
+		sh := m.shadow()
+		tr.slots = append(tr.slots, sh)
+		tr.scr = append(tr.scr, sh.newScratch(maxT))
+		tr.sParams = append(tr.sParams, sh.Params())
+	}
+	return tr
+}
+
+// step runs one optimizer step's gradient computation over the batch
+// indices idx, leaving the summed (mean, for Batch > 1) gradient in the
+// master's params and returning the mean loss. centroids/assign supply
+// the joint-phase clustering pull; nil means reconstruction only.
+func (tr *trainer) step(seqs []Sequence, idx []int, centroids [][]float64, assign []int, lambda float64) float64 {
+	centroidOf := func(i int) []float64 {
+		if centroids == nil {
+			return nil
+		}
+		return centroids[assign[i]]
+	}
+	if len(idx) == 1 {
+		return tr.master.stepIn(tr.scr[0], seqs[idx[0]], centroidOf(idx[0]), lambda)
+	}
+	// Per-sequence gradients fan out over the worker pool; each batch
+	// slot owns its shadow model and scratch.
+	parallel.Map(idx, func(b, i int) (struct{}, error) {
+		tr.losses[b] = tr.slots[b].stepIn(tr.scr[b], seqs[i], centroidOf(i), lambda)
+		return struct{}{}, nil
+	})
+	// Ordered reduction: slot 0's gradient first, then slot 1's, ...
+	// — a fixed float summation order regardless of which workers
+	// computed which slots — then scale to the batch mean. The zero
+	// skip both preserves bit-patterns (adding a zero could flip a -0
+	// accumulator) and makes the sparse vidEmb rows cheap.
+	inv := 1 / float64(len(idx))
+	for pi, p := range tr.mParams {
+		pg := p.Grad
+		for b := range tr.slots {
+			sg := tr.sParams[b][pi].Grad
+			for j, g := range sg {
+				if g != 0 {
+					pg[j] += g
+					sg[j] = 0
+				}
+			}
+		}
+		for j, g := range pg {
+			if g != 0 {
+				pg[j] = g * inv
+			}
+		}
+	}
+	var sum float64
+	for _, l := range tr.losses {
+		sum += l
+	}
+	return sum * inv
+}
+
+// embedAll computes the embedding of every sequence concurrently with
+// per-worker scratch. Each output slot is written independently, so the
+// result is bit-identical at any worker count.
+func (tr *trainer) embedAll(seqs []Sequence) [][]float64 {
+	workers := parallel.Jobs()
+	if workers > len(seqs) {
+		workers = len(seqs)
+	}
+	for len(tr.embScr) < workers {
+		tr.embScr = append(tr.embScr, tr.master.newScratch(tr.maxT))
+	}
+	out := make([][]float64, len(seqs))
+	dim := tr.master.cfg.Hidden
+	buf := make([]float64, len(seqs)*dim)
+	parallel.MapNWorker(workers, seqs, func(w, i int, s Sequence) (struct{}, error) {
+		e := buf[i*dim : (i+1)*dim]
+		if len(s.Deltas) > 0 {
+			copy(e, tr.master.encodeIn(tr.embScr[w], s))
+		}
+		out[i] = e
+		return struct{}{}, nil
+	})
+	return out
 }
 
 // TrainJoint implements §6.2's two-phase recipe: (1) train the
@@ -258,6 +500,12 @@ type TrainOptions struct {
 // embeddings and continue training with the joint loss, periodically
 // refreshing the clustering. It returns the final clustering of the
 // input sequences.
+//
+// Every stage runs on the parallel worker pool with bit-identical
+// results at any -jobs count: per-sequence gradients reduce in fixed
+// slot order before each parameter update, and embedding sweeps write
+// disjoint output slots. With Batch == 1 the loop degenerates to the
+// classic serial recipe.
 func (m *Autoencoder) TrainJoint(seqs []Sequence, opts TrainOptions) (TrainReport, error) {
 	if len(seqs) == 0 {
 		return TrainReport{}, fmt.Errorf("nn: no training sequences")
@@ -280,52 +528,75 @@ func (m *Autoencoder) TrainJoint(seqs []Sequence, opts TrainOptions) (TrainRepor
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	if opts.Batch <= 0 {
+		opts.Batch = 1
+	}
 	r := rand.New(rand.NewSource(opts.Seed))
 	opt := NewAdam(m.Params(), opts.LR)
+
+	maxT := 1
+	for _, s := range seqs {
+		if len(s.Deltas) > maxT {
+			maxT = len(s.Deltas)
+		}
+	}
+	tr := newTrainer(m, opts.Batch, maxT)
+	idx := make([]int, opts.Batch)
+	draw := func() {
+		// Batch indices are drawn serially on the caller's goroutine, so
+		// the RNG stream is identical at any worker count.
+		for b := range idx {
+			idx[b] = r.Intn(len(seqs))
+		}
+	}
 
 	var report TrainReport
 	report.Steps = opts.Steps
 	phase1 := opts.Steps / 2
 
 	for step := 0; step < phase1; step++ {
-		s := seqs[r.Intn(len(seqs))]
-		loss := m.step(s, nil, 0)
+		draw()
+		loss := tr.step(seqs, idx, nil, nil, 0)
 		if step == 0 {
 			report.InitialLoss = loss
 		}
 		opt.Step()
 	}
 
-	embed := func() [][]float64 {
-		es := make([][]float64, len(seqs))
-		for i, s := range seqs {
-			es[i] = m.Embed(s)
-		}
-		return es
-	}
-	km, err := kmeans.Cluster(embed(), opts.K, kmeans.Options{Seed: opts.Seed})
+	es := tr.embedAll(seqs)
+	km, err := kmeans.Cluster(es, opts.K, kmeans.Options{Seed: opts.Seed})
 	if err != nil {
 		return report, err
 	}
 
+	kmFresh := true // no parameter update since the last sweep?
 	for step := phase1; step < opts.Steps; step++ {
-		i := r.Intn(len(seqs))
-		loss := m.step(seqs[i], km.Centroids[km.Assignment[i]], opts.Lambda)
+		draw()
+		loss := tr.step(seqs, idx, km.Centroids, km.Assignment, opts.Lambda)
 		opt.Step()
 		report.FinalLoss = loss
+		kmFresh = false
 		if (step-phase1+1)%opts.Reassign == 0 {
-			if km, err = kmeans.Cluster(embed(), opts.K, kmeans.Options{Seed: opts.Seed}); err != nil {
+			es = tr.embedAll(seqs)
+			if km, err = kmeans.Cluster(es, opts.K, kmeans.Options{Seed: opts.Seed}); err != nil {
 				return report, err
 			}
+			kmFresh = true
 		}
 	}
-	km, err = kmeans.Cluster(embed(), opts.K, kmeans.Options{Seed: opts.Seed})
-	if err != nil {
-		return report, err
+	// The final clustering re-embeds only if parameters moved since the
+	// last sweep — when the last joint step coincided with a reassign,
+	// recomputing would reproduce the same embeddings bit-for-bit.
+	if !kmFresh {
+		es = tr.embedAll(seqs)
+		if km, err = kmeans.Cluster(es, opts.K, kmeans.Options{Seed: opts.Seed}); err != nil {
+			return report, err
+		}
 	}
 	report.Centroids = km.Centroids
 	report.Assignment = km.Assignment
 	report.ClusterLoss = km.Loss
+	report.Embeddings = es
 	if report.FinalLoss == 0 {
 		report.FinalLoss = report.InitialLoss
 	}

@@ -34,6 +34,13 @@ func NewLSTM(name string, in, hidden int, r *rand.Rand) *LSTM {
 // Params returns the learnable tensors.
 func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
 
+// shadow returns an LSTM sharing l's weights but accumulating gradients
+// into private buffers — the per-slot view batched training reduces from.
+func (l *LSTM) shadow() *LSTM {
+	return &LSTM{In: l.In, Hidden: l.Hidden,
+		Wx: shadowParam(l.Wx), Wh: shadowParam(l.Wh), B: shadowParam(l.B)}
+}
+
 // lstmStep caches one timestep's activations for BPTT.
 type lstmStep struct {
 	x          []float64
@@ -75,26 +82,53 @@ func (s *Stack) Params() []*Param {
 	return ps
 }
 
-// StackState caches one forward pass through all layers.
+// shadow returns a Stack sharing weights with private gradients.
+func (s *Stack) shadow() *Stack {
+	sh := &Stack{}
+	for _, l := range s.layers {
+		sh.layers = append(sh.layers, l.shadow())
+	}
+	return sh
+}
+
+// StackState caches one forward pass through all layers. A state is
+// reusable scratch: allocate once with NewState, then run any number of
+// ForwardIn/Backward cycles through it without further allocation (the
+// returned slices alias the state and are valid until its next use).
 type StackState struct {
 	states []*LSTMState
 }
 
-// Forward runs the stack over a sequence, returning the cached state and
-// the top layer's per-step hidden vectors.
-func (s *Stack) Forward(xs [][]float64) (*StackState, [][]float64) {
+// NewState allocates reusable forward/backward scratch for sequences up
+// to maxT steps (longer sequences grow the state transparently).
+func (s *Stack) NewState(maxT int) *StackState {
 	st := &StackState{}
-	cur := xs
 	for _, l := range s.layers {
-		ls, outs := l.Forward(cur)
-		st.states = append(st.states, ls)
-		cur = outs
+		st.states = append(st.states, l.NewState(maxT))
 	}
-	return st, cur
+	return st
+}
+
+// Forward runs the stack over a sequence, returning the cached state and
+// the top layer's per-step hidden vectors. It allocates a fresh state;
+// hot paths reuse one via NewState + ForwardIn.
+func (s *Stack) Forward(xs [][]float64) (*StackState, [][]float64) {
+	st := s.NewState(len(xs))
+	return st, s.ForwardIn(st, xs)
+}
+
+// ForwardIn runs the stack through reusable scratch, returning the top
+// layer's per-step hidden vectors (aliased into st; treat as read-only).
+func (s *Stack) ForwardIn(st *StackState, xs [][]float64) [][]float64 {
+	cur := xs
+	for k, l := range s.layers {
+		cur = l.ForwardIn(st.states[k], cur)
+	}
+	return cur
 }
 
 // Backward propagates top-layer hidden gradients down the stack and
-// returns the input gradients.
+// returns the input gradients (aliased into the state's scratch).
 func (st *StackState) Backward(dH [][]float64) [][]float64 {
 	cur := dH
 	for k := len(st.states) - 1; k >= 0; k-- {
@@ -103,36 +137,111 @@ func (st *StackState) Backward(dH [][]float64) [][]float64 {
 	return cur
 }
 
-// LSTMState is the cached forward pass over one sequence.
+// LSTMState is the cached forward pass over one sequence plus the
+// backward pass's scratch. States are reusable: one allocation serves
+// any number of forward/backward cycles (the training loop's per-worker
+// scratch), growing only if a longer sequence arrives.
 type LSTMState struct {
 	lstm  *LSTM
+	n     int // timesteps of the last forward pass
 	steps []lstmStep
+	outs  [][]float64
+	h0    []float64 // initial (zero) state; never written after creation
+	c0    []float64
+	pre   []float64 // forward scratch, fully rewritten each step
+	xw    []float64 // B + x·Wx of the last distinct input row
+
+	// Backward scratch, fully rewritten per call.
+	dxs              [][]float64
+	dh, dPre, dc     []float64
+	dhNext, dcNext   []float64
+	gateBuf, dxBuf   []float64 // backing arrays for steps[i]/dxs
+}
+
+// NewState allocates reusable scratch for sequences up to maxT steps.
+func (l *LSTM) NewState(maxT int) *LSTMState {
+	st := &LSTMState{
+		lstm: l,
+		h0:   make([]float64, l.Hidden),
+		c0:   make([]float64, l.Hidden),
+		pre:  make([]float64, 4*l.Hidden),
+		xw:   make([]float64, 4*l.Hidden),
+		dh:   make([]float64, l.Hidden),
+		dPre: make([]float64, 4*l.Hidden),
+		dc:   make([]float64, l.Hidden),
+		dhNext: make([]float64, l.Hidden),
+		dcNext: make([]float64, l.Hidden),
+	}
+	st.grow(maxT)
+	return st
+}
+
+// grow extends the per-timestep buffers to hold at least maxT steps.
+func (st *LSTMState) grow(maxT int) {
+	if maxT <= len(st.steps) {
+		return
+	}
+	H := st.lstm.Hidden
+	in := st.lstm.In
+	st.steps = make([]lstmStep, maxT)
+	st.outs = make([][]float64, maxT)
+	st.dxs = make([][]float64, maxT)
+	st.gateBuf = make([]float64, maxT*6*H)
+	st.dxBuf = make([]float64, maxT*in)
+	for t := 0; t < maxT; t++ {
+		buf := st.gateBuf[t*6*H : (t+1)*6*H]
+		s := &st.steps[t]
+		s.i = buf[0*H : 1*H]
+		s.f = buf[1*H : 2*H]
+		s.g = buf[2*H : 3*H]
+		s.o = buf[3*H : 4*H]
+		s.c = buf[4*H : 5*H]
+		s.h = buf[5*H : 6*H]
+		st.dxs[t] = st.dxBuf[t*in : (t+1)*in]
+	}
 }
 
 // Forward runs the LSTM over a sequence of input vectors starting from
 // zero state and returns the cached state plus the per-step hidden
-// vectors (aliased into the cache; treat as read-only).
+// vectors (aliased into the cache; treat as read-only). It allocates a
+// fresh state; hot paths reuse one via NewState + ForwardIn.
 func (l *LSTM) Forward(xs [][]float64) (*LSTMState, [][]float64) {
+	st := l.NewState(len(xs))
+	return st, l.ForwardIn(st, xs)
+}
+
+// ForwardIn runs the LSTM through reusable scratch. The math is
+// identical to the allocating Forward — only the buffers' lifetimes
+// changed — so results are bit-identical.
+func (l *LSTM) ForwardIn(st *LSTMState, xs [][]float64) [][]float64 {
 	H := l.Hidden
-	st := &LSTMState{lstm: l, steps: make([]lstmStep, len(xs))}
-	h := make([]float64, H)
-	c := make([]float64, H)
-	outs := make([][]float64, len(xs))
-	pre := make([]float64, 4*H) // scratch, fully rewritten each step
+	st.grow(len(xs))
+	st.n = len(xs)
+	h, c := st.h0, st.c0
+	pre := st.pre
+	xw := st.xw
 	for t, x := range xs {
 		s := &st.steps[t]
 		s.x = x
 		s.hPrev = h
 		s.cPrev = c
-		copy(pre, l.B.W)
-		for i, xi := range x {
-			if xi == 0 {
-				continue
+		if t > 0 && len(x) > 0 && &x[0] == &xs[t-1][0] {
+			// Identical input row as the previous step (the decoder feeds
+			// the same embedding at every step): B + x·Wx was snapshotted
+			// below, so reusing it reproduces the same bits for free.
+			copy(pre, xw)
+		} else {
+			copy(pre, l.B.W)
+			for i, xi := range x {
+				if xi == 0 {
+					continue
+				}
+				row := l.Wx.W[i*4*H : (i+1)*4*H]
+				for j, w := range row {
+					pre[j] += xi * w
+				}
 			}
-			row := l.Wx.W[i*4*H : (i+1)*4*H]
-			for j, w := range row {
-				pre[j] += xi * w
-			}
+			copy(xw, pre)
 		}
 		for i, hi := range h {
 			if hi == 0 {
@@ -143,15 +252,6 @@ func (l *LSTM) Forward(xs [][]float64) (*LSTMState, [][]float64) {
 				pre[j] += hi * w
 			}
 		}
-		// One backing array per step instead of six small ones; the
-		// slices are retained in the step cache for BPTT.
-		buf := make([]float64, 6*H)
-		s.i = buf[0*H : 1*H]
-		s.f = buf[1*H : 2*H]
-		s.g = buf[2*H : 3*H]
-		s.o = buf[3*H : 4*H]
-		s.c = buf[4*H : 5*H]
-		s.h = buf[5*H : 6*H]
 		for j := 0; j < H; j++ {
 			s.i[j] = sigmoid(pre[j])
 			s.f[j] = sigmoid(pre[H+j])
@@ -161,25 +261,29 @@ func (l *LSTM) Forward(xs [][]float64) (*LSTMState, [][]float64) {
 			s.h[j] = s.o[j] * math.Tanh(s.c[j])
 		}
 		h, c = s.h, s.c
-		outs[t] = s.h
+		st.outs[t] = s.h
 	}
-	return st, outs
+	return st.outs[:len(xs)]
 }
 
 // Backward backpropagates per-step hidden-state gradients dH (same
 // length as the forward sequence; nil entries mean zero gradient) and
-// returns the per-step input gradients. Parameter gradients accumulate
-// into the LSTM's params.
+// returns the per-step input gradients, aliased into the state's
+// scratch (valid until the next Backward through this state). Parameter
+// gradients accumulate into the LSTM's params.
 func (st *LSTMState) Backward(dH [][]float64) [][]float64 {
 	l := st.lstm
 	H := l.Hidden
-	dxs := make([][]float64, len(st.steps))
-	dhNext := make([]float64, H)
-	dcNext := make([]float64, H)
-	dh := make([]float64, H)     // scratch, fully rewritten each step
-	dPre := make([]float64, 4*H) // scratch, fully rewritten each step
-	dc := make([]float64, H)     // scratch, fully rewritten each step
-	for t := len(st.steps) - 1; t >= 0; t-- {
+	dxs := st.dxs[:st.n]
+	dhNext, dcNext := st.dhNext, st.dcNext
+	for j := 0; j < H; j++ {
+		dhNext[j] = 0
+		dcNext[j] = 0
+	}
+	dh := st.dh     // scratch, fully rewritten each step
+	dPre := st.dPre // scratch, fully rewritten each step
+	dc := st.dc     // scratch, fully rewritten each step
+	for t := st.n - 1; t >= 0; t-- {
 		s := &st.steps[t]
 		copy(dh, dhNext)
 		if t < len(dH) && dH[t] != nil {
@@ -206,8 +310,7 @@ func (st *LSTMState) Backward(dH [][]float64) [][]float64 {
 		// order, so results are bit-identical to the j-outer form. The
 		// g == 0 skip is load-bearing for that identity: adding a zero
 		// could flip a -0 accumulator to +0.
-		dx := make([]float64, l.In)
-		dhPrev := make([]float64, H)
+		dx := dxs[t]
 		for j, g := range dPre {
 			if g != 0 {
 				l.B.Grad[j] += g
@@ -225,6 +328,8 @@ func (st *LSTMState) Backward(dH [][]float64) [][]float64 {
 			}
 			dx[i] = acc
 		}
+		// dhNext is consumed (copied into dh) before this point, so the
+		// next step's dhPrev can be written over it in place.
 		for i, hi := range s.hPrev {
 			row, grad := l.Wh.W[i*4*H:(i+1)*4*H], l.Wh.Grad[i*4*H:(i+1)*4*H]
 			acc := 0.0
@@ -235,10 +340,8 @@ func (st *LSTMState) Backward(dH [][]float64) [][]float64 {
 				grad[j] += hi * g
 				acc += row[j] * g
 			}
-			dhPrev[i] = acc
+			dhNext[i] = acc
 		}
-		dxs[t] = dx
-		dhNext = dhPrev
 		for j := 0; j < H; j++ {
 			dcNext[j] = dc[j] * s.f[j]
 		}

@@ -26,6 +26,15 @@ type Param struct {
 	Cols int
 }
 
+// shadowParam returns a Param sharing p's weights (same backing array)
+// but with a private gradient buffer. Batched training gives each batch
+// slot a shadow of the model so per-sequence gradients accumulate
+// independently and can be reduced in a fixed slot order; shadows carry
+// no Adam state because the optimizer only ever steps the master.
+func shadowParam(p *Param) *Param {
+	return &Param{Name: p.Name, W: p.W, Grad: make([]float64, len(p.Grad)), Rows: p.Rows, Cols: p.Cols}
+}
+
 // NewParam allocates a rows×cols parameter initialized with the common
 // scaled-uniform scheme.
 func NewParam(name string, rows, cols int, r *rand.Rand) *Param {
@@ -130,9 +139,19 @@ func NewLinear(name string, in, out int, r *rand.Rand) *Linear {
 // Params returns the layer's parameters.
 func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 
+// shadow returns a Linear sharing weights with private gradients.
+func (l *Linear) shadow() *Linear { return &Linear{W: shadowParam(l.W), B: shadowParam(l.B)} }
+
 // Forward computes y = xW + b.
 func (l *Linear) Forward(x []float64) []float64 {
 	out := make([]float64, l.W.Cols)
+	l.ForwardIn(out, x)
+	return out
+}
+
+// ForwardIn computes y = xW + b into the caller's buffer (len = Cols),
+// the allocation-free form the reused training scratch runs.
+func (l *Linear) ForwardIn(out, x []float64) {
 	for j := 0; j < l.W.Cols; j++ {
 		s := l.B.W[j]
 		for i, xi := range x {
@@ -140,7 +159,6 @@ func (l *Linear) Forward(x []float64) []float64 {
 		}
 		out[j] = s
 	}
-	return out
 }
 
 // Backward accumulates parameter gradients for dY and returns dX. The
@@ -148,6 +166,26 @@ func (l *Linear) Forward(x []float64) []float64 {
 // making it safe to reuse across timesteps).
 func (l *Linear) Backward(x, dy []float64) []float64 {
 	dx := make([]float64, l.W.Rows)
+	l.BackwardIn(dx, x, dy)
+	return dx
+}
+
+// BackwardIn is Backward into a caller-owned dX buffer (len = Rows,
+// zeroed here). A nil dx accumulates parameter gradients only — the
+// embedding layers' case, whose input gradient nobody consumes.
+func (l *Linear) BackwardIn(dx, x, dy []float64) {
+	for i := range dx {
+		dx[i] = 0
+	}
+	if dx == nil {
+		for j, g := range dy {
+			l.B.AddGrad(0, j, g)
+			for i, xi := range x {
+				l.W.AddGrad(i, j, xi*g)
+			}
+		}
+		return
+	}
 	for j, g := range dy {
 		l.B.AddGrad(0, j, g)
 		for i, xi := range x {
@@ -155,7 +193,6 @@ func (l *Linear) Backward(x, dy []float64) []float64 {
 			dx[i] += l.W.At(i, j) * g
 		}
 	}
-	return dx
 }
 
 // CheckFinite returns an error if any parameter has gone non-finite —

@@ -54,6 +54,17 @@ func Map[T, R any](items []T, fn func(i int, item T) (R, error)) ([]R, error) {
 // item) runs fully serially on the calling goroutine, which the
 // determinism tests use as the reference execution.
 func MapN[T, R any](jobs int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	return MapNWorker(jobs, items, func(_, i int, item T) (R, error) { return fn(i, item) })
+}
+
+// MapNWorker is MapN exposing the executing worker's index to fn
+// (0 <= worker < min(jobs, len(items))), so callers can maintain
+// per-worker scratch — reused gradient buffers, forward-pass caches —
+// without locking or per-item allocation. Worker w never runs two items
+// concurrently, so scratch indexed by w is race-free; deterministic
+// callers must ensure each item's RESULT is independent of which worker
+// computed it (scratch contents may differ, outputs may not).
+func MapNWorker[T, R any](jobs int, items []T, fn func(worker, i int, item T) (R, error)) ([]R, error) {
 	out := make([]R, len(items))
 	if len(items) == 0 {
 		return out, nil
@@ -64,7 +75,7 @@ func MapN[T, R any](jobs int, items []T, fn func(i int, item T) (R, error)) ([]R
 	}
 	if jobs <= 1 {
 		for i, it := range items {
-			out[i], errs[i] = fn(i, it)
+			out[i], errs[i] = fn(0, i, it)
 		}
 		return out, errors.Join(errs...)
 	}
@@ -73,16 +84,16 @@ func MapN[T, R any](jobs int, items []T, fn func(i int, item T) (R, error)) ([]R
 	var wg sync.WaitGroup
 	wg.Add(jobs)
 	for w := 0; w < jobs; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(items) {
 					return
 				}
-				out[i], errs[i] = fn(i, items[i])
+				out[i], errs[i] = fn(w, i, items[i])
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return out, errors.Join(errs...)

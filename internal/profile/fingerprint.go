@@ -1,0 +1,86 @@
+package profile
+
+import (
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Content fingerprints make selection inputs addressable by value: two
+// sweep points whose profiling passes produced byte-identical profiles
+// and delta traces hash to the same key, so the (expensive,
+// deterministic) mapping selection derived from them can be computed
+// once and reused. The hash is an FNV-1a-style mix over an unambiguous
+// serialization — every field is length- or position-delimited, floats
+// hash by their IEEE bit pattern — so distinct contents cannot collide
+// by framing. Numeric fields mix a word at a time (delta traces run to
+// hundreds of thousands of samples; byte-serial hashing would show up
+// in the selection budget the cache exists to protect).
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnv64 is an incremental FNV-1a 64-bit hasher.
+type fnv64 uint64
+
+func (h *fnv64) byte(b byte) {
+	*h = (*h ^ fnv64(b)) * fnvPrime
+}
+
+func (h *fnv64) u64(v uint64) {
+	*h = (*h ^ fnv64(v)) * fnvPrime
+}
+
+func (h *fnv64) f64(v float64) { h.u64(math.Float64bits(v)) }
+
+func (h *fnv64) str(s string) {
+	h.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+}
+
+// Fingerprint returns a content hash of the profile: the app name and
+// every variable's identity, reference statistics, flip vector, major
+// flag, and offset sample. Profiles with equal fingerprints drive the
+// selection pipeline to identical results.
+func (p Profile) Fingerprint() uint64 {
+	h := fnv64(fnvOffset)
+	h.str(p.App)
+	h.u64(p.TotalRefs)
+	h.u64(uint64(len(p.Vars)))
+	for _, v := range p.Vars {
+		h.u64(uint64(v.VID))
+		h.str(v.Site)
+		h.u64(v.Refs)
+		h.u64(v.Bytes)
+		for _, f := range v.BFRV {
+			h.f64(f)
+		}
+		if v.Major {
+			h.byte(1)
+		} else {
+			h.byte(0)
+		}
+		h.u64(uint64(len(v.Sample)))
+		for _, s := range v.Sample {
+			h.u64(uint64(s))
+		}
+	}
+	return uint64(h)
+}
+
+// FingerprintDeltas returns a content hash of a delta trace — the DL
+// selector's second input, hashed separately so non-DL selections can
+// skip it.
+func FingerprintDeltas(ds []trace.DeltaSample) uint64 {
+	h := fnv64(fnvOffset)
+	h.u64(uint64(len(ds)))
+	for _, d := range ds {
+		h.u64(uint64(d.Delta))
+		h.u64(uint64(d.VID))
+	}
+	return uint64(h)
+}

@@ -49,29 +49,15 @@ func CoRun(ws []workload.Workload, opts Options) (Result, error) {
 				return res, err
 			}
 			sels[i].prof = prof
-			switch o.Kind {
-			case BSBSM:
+			if o.Kind == BSBSM {
 				// One mapping for the whole mix: average the apps'
 				// global flip rates (the workload-mix profiling of §7.3).
 				combined.Add(col.GlobalBFRV())
-			case SDMBSM:
-				s, err := cluster.SelectSingle(prof, o.Geometry)
+			} else {
+				sels[i].sel, err = cachedSelection(o, prof, col.Deltas())
 				if err != nil {
 					return res, err
 				}
-				sels[i].sel = &s
-			case SDMBSMML:
-				s, err := cluster.SelectKMeans(prof, o.Clusters, o.Geometry)
-				if err != nil {
-					return res, err
-				}
-				sels[i].sel = &s
-			case SDMBSMDL:
-				s, err := cluster.SelectDL(prof, col.Deltas(), o.Clusters, o.Geometry, o.DL)
-				if err != nil {
-					return res, err
-				}
-				sels[i].sel = &s
 			}
 		}
 		if o.Kind == BSBSM {

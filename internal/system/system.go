@@ -206,27 +206,13 @@ func Run(w workload.Workload, opts Options) (Result, error) {
 		}
 		res.Profile = &prof
 		start := wallclock.Now()
-		switch o.Kind {
-		case BSBSM:
+		if o.Kind == BSBSM {
 			globalMapping = mapping.FromBFRV(col.GlobalBFRV(), o.Geometry, "BSM-global")
-		case SDMBSM:
-			s, err := cluster.SelectSingle(prof, o.Geometry)
+		} else {
+			sel, err = cachedSelection(o, prof, col.Deltas())
 			if err != nil {
 				return res, err
 			}
-			sel = &s
-		case SDMBSMML:
-			s, err := cluster.SelectKMeans(prof, o.Clusters, o.Geometry)
-			if err != nil {
-				return res, err
-			}
-			sel = &s
-		case SDMBSMDL:
-			s, err := cluster.SelectDL(prof, col.Deltas(), o.Clusters, o.Geometry, o.DL)
-			if err != nil {
-				return res, err
-			}
-			sel = &s
 		}
 		res.ProfilingTime = wallclock.Since(start)
 		res.Selection = sel
