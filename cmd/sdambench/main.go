@@ -14,19 +14,22 @@
 // benchmarks in one file. -json additionally times every (benchmark,
 // config) cell and the parallel sweep, and writes the measurements —
 // host ns per simulated reference per configuration, split into
-// selection and simulation time, plus sweep wall-clock — to the named
-// file (conventionally BENCH_hotpath.json, the repo's recorded perf
-// trajectory; see README "Performance"). -baseline compares the fresh
-// measurements against a committed report and exits non-zero when any
-// non-DL cell regressed more than 3x in ns/ref — the CI smoke against
-// hot-path regressions (DL cells are exempt: their absolute cost is
-// training-budget policy, tracked by the trajectory file instead).
+// selection, reference-tape build, and simulation time, plus sweep
+// wall-clock — to the named file (conventionally BENCH_hotpath.json,
+// the repo's recorded perf trajectory; see README "Performance").
+// -baseline compares the fresh measurements against a committed report
+// and exits non-zero when any non-DL cell regressed more than
+// -baseline-tol times in ns/ref (default 3: deliberately loose, so only
+// order-of-magnitude hot-path regressions trip on noisy shared CI; DL
+// cells are exempt — their absolute cost is training-budget policy,
+// tracked by the trajectory file instead).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
@@ -46,10 +49,16 @@ type benchCell struct {
 	References uint64  `json:"references"`
 	WallMs     float64 `json:"wall_ms"`
 	// SelectMs is the mapping-selection share of WallMs (profiling-time
-	// clustering/training); SimMs is the remainder — the profiling and
-	// evaluation passes through the simulator. SelectJobs records the
-	// worker budget the selection pipeline ran under.
+	// clustering/training); TapeBuildMs (schema 3) is the share spent
+	// recording reference tapes — paid by the first cell of each
+	// {workload, seed} and amortized to zero for every cell that replays
+	// the shared tape (TapeHits counts those replays); SimMs is the
+	// remainder — the profiling and evaluation passes through the
+	// simulator. SelectJobs records the worker budget the selection
+	// pipeline ran under.
 	SelectMs        float64 `json:"select_ms"`
+	TapeBuildMs     float64 `json:"tape_build_ms"`
+	TapeHits        int64   `json:"tape_hits"`
 	SimMs           float64 `json:"sim_ms"`
 	SelectJobs      int     `json:"select_jobs"`
 	SpeedupOverBSDM float64 `json:"speedup_over_bsdm"`
@@ -79,7 +88,8 @@ func main() {
 	jobs := flag.Int("jobs", 0, "max concurrent simulation cells (0 = GOMAXPROCS)")
 	bench := flag.String("bench", "", "comma-separated benchmarks to sweep (overrides the positional argument)")
 	jsonPath := flag.String("json", "", "also time each cell and write perf measurements to this file")
-	baseline := flag.String("baseline", "", "committed -json report to diff against; >3x ns/ref regressions in non-DL cells fail")
+	baseline := flag.String("baseline", "", "committed -json report to diff against; ns/ref regressions beyond -baseline-tol in non-DL cells fail")
+	baselineTol := flag.Float64("baseline-tol", 3.0, "regression factor tolerated by -baseline before failing")
 	flag.Parse()
 	if flag.NArg() != 1 && *bench == "" {
 		fmt.Fprintln(os.Stderr, "usage: sdambench [flags] <benchmark>|standard|data")
@@ -120,7 +130,7 @@ func main() {
 
 	if *jsonPath != "" {
 		rep := benchReport{
-			Schema: 2, Engine: eng.Name, Cores: *cores,
+			Schema: 3, Engine: eng.Name, Cores: *cores,
 			Refs: *refs, Clusters: *clusters, Jobs: sdam.Jobs(),
 		}
 		runTimed(&rep, names, base, kinds, *refs)
@@ -134,7 +144,7 @@ func main() {
 			os.Exit(1)
 		}
 		if *baseline != "" {
-			if err := checkBaseline(rep, *baseline); err != nil {
+			if err := checkBaseline(rep, *baseline, *baselineTol); err != nil {
 				fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
 				os.Exit(1)
 			}
@@ -197,9 +207,11 @@ func runTimed(rep *benchReport, names []string, base sdam.Options, kinds []sdam.
 			}
 			o := base
 			o.Kind = k
+			tapeBefore := sdam.TapeCacheStats()
 			start := wallclock.Now()
 			r, err := sdam.RunBenchmark(w, o)
 			wall := wallclock.Since(start)
+			tapeAfter := sdam.TapeCacheStats()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "sdambench: %s on %s: %v\n", k, name, err)
 				os.Exit(1)
@@ -212,10 +224,12 @@ func runTimed(rep *benchReport, names []string, base sdam.Options, kinds []sdam.
 				References:      r.Run.References,
 				WallMs:          float64(wall.Microseconds()) / 1e3,
 				SelectMs:        selectMs,
+				TapeBuildMs:     float64(tapeAfter.BuildNs-tapeBefore.BuildNs) / 1e6,
+				TapeHits:        tapeAfter.Hits - tapeBefore.Hits,
 				SelectJobs:      sdam.Jobs(),
 				SpeedupOverBSDM: r.SpeedupOver(results[0]),
 			}
-			cell.SimMs = cell.WallMs - cell.SelectMs
+			cell.SimMs = cell.WallMs - cell.SelectMs - cell.TapeBuildMs
 			if r.Run.References > 0 {
 				cell.NsPerRef = float64(wall.Nanoseconds()) / float64(r.Run.References)
 			}
@@ -240,12 +254,16 @@ func runTimed(rep *benchReport, names []string, base sdam.Options, kinds []sdam.
 }
 
 // checkBaseline diffs fresh cell timings against a committed report and
-// errors when a matching non-DL cell regressed more than 3x in ns/ref.
-// The threshold is deliberately loose — host timing on shared CI is
-// noisy — so only order-of-magnitude hot-path regressions trip it. DL
-// cells are exempt: their cost is dominated by the training budget,
-// a policy knob the trajectory file tracks rather than gates.
-func checkBaseline(rep benchReport, path string) error {
+// errors when a matching non-DL cell regressed more than tol times in
+// ns/ref. The default tolerance is deliberately loose — host timing on
+// shared CI is noisy — so only order-of-magnitude hot-path regressions
+// trip it. DL cells are exempt: their cost is dominated by the training
+// budget, a policy knob the trajectory file tracks rather than gates.
+// A baseline with zero or NaN ns/ref cells is rejected outright: every
+// comparison against such a cell would silently pass, which is how a
+// truncated or hand-edited baseline disables the gate without anyone
+// noticing.
+func checkBaseline(rep benchReport, path string, tol float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -254,9 +272,22 @@ func checkBaseline(rep benchReport, path string) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("baseline %s: %w", path, err)
 	}
+	if tol <= 0 || math.IsNaN(tol) {
+		return fmt.Errorf("baseline: -baseline-tol %v must be a positive factor", tol)
+	}
+	for _, c := range base.Cells {
+		if !(c.NsPerRef > 0) || math.IsNaN(c.NsPerRef) || math.IsInf(c.NsPerRef, 0) {
+			return fmt.Errorf("baseline %s: cell %s/%s has invalid ns_per_ref %v — regenerate the baseline (go run ./cmd/sdambench -json %s ...)",
+				path, c.Benchmark, c.Config, c.NsPerRef, path)
+		}
+	}
 	// ns/ref folds fixed per-cell costs (workload generation, setup)
-	// over the reference count, so reports from different budgets or
-	// machines models are not comparable.
+	// over the reference count, so reports from different budgets,
+	// machine models, or measurement schemas are not comparable.
+	if base.Schema != rep.Schema {
+		return fmt.Errorf("baseline %s uses schema %d; this build writes schema %d (not comparable; regenerate the baseline)",
+			path, base.Schema, rep.Schema)
+	}
 	if base.Refs != rep.Refs || base.Engine != rep.Engine || base.Cores != rep.Cores {
 		return fmt.Errorf("baseline %s measured with -refs %d -engine %s -cores %d; this run used -refs %d -engine %s -cores %d (not comparable)",
 			path, base.Refs, base.Engine, base.Cores, rep.Refs, rep.Engine, rep.Cores)
@@ -272,9 +303,9 @@ func checkBaseline(rep benchReport, path string) error {
 			continue
 		}
 		b, ok := baseNs[key{c.Benchmark, c.Config}]
-		if ok && b > 0 && c.NsPerRef > 3*b {
-			fails = append(fails, fmt.Sprintf("%s/%s: %.0f ns/ref vs baseline %.0f (%.1fx)",
-				c.Benchmark, c.Config, c.NsPerRef, b, c.NsPerRef/b))
+		if ok && c.NsPerRef > tol*b {
+			fails = append(fails, fmt.Sprintf("%s/%s: %.0f ns/ref vs baseline %.0f (%.1fx > %gx)",
+				c.Benchmark, c.Config, c.NsPerRef, b, c.NsPerRef/b, tol))
 		}
 	}
 	if len(fails) > 0 {

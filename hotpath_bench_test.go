@@ -16,6 +16,7 @@ import (
 	"repro/internal/hbm"
 	"repro/internal/heap"
 	"repro/internal/memctrl"
+	"repro/internal/tape"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -25,6 +26,8 @@ import (
 type hotPathRig struct {
 	engine *cpu.Engine
 	work   workload.Workload
+	layout tape.Layout
+	as     *vm.AddressSpace
 }
 
 // newHotPathRig boots an SDAM-controller machine (CMT + AMU datapath,
@@ -37,11 +40,13 @@ func newHotPathRig(tb testing.TB, eng cpu.Config) *hotPathRig {
 	k := vm.NewKernel(g.Chunks())
 	as := k.NewAddressSpace()
 	w := workload.NewStrideCopy([]int{1, 4, 64, 1024}, 20_000, 8<<20)
-	if err := w.Setup(&workload.Env{AS: as, Heap: heap.New(as)}); err != nil {
+	rig := &hotPathRig{work: w, as: as}
+	if err := w.Setup(&workload.Env{AS: as, Heap: heap.New(as), OnAlloc: rig.layout.Note}); err != nil {
 		tb.Fatal(err)
 	}
 	ctrl := memctrl.NewSDAM(dev, k.Table, amu.New(8))
-	return &hotPathRig{engine: cpu.New(eng, ctrl, as), work: w}
+	rig.engine = cpu.New(eng, ctrl, as)
+	return rig
 }
 
 // runHotPath drives the engine over freshly seeded streams each
@@ -75,4 +80,59 @@ func BenchmarkHotPathEngineAccel(b *testing.B) {
 // cache-hit fast path dominates.
 func BenchmarkHotPathEngineCPU(b *testing.B) {
 	runHotPath(b, newHotPathRig(b, cpu.CPUConfig(4)))
+}
+
+// runTapeReplay replays a prerecorded tape each iteration instead of
+// regenerating streams — the per-cell cost every sweep cell after the
+// first pays under the tape cache.
+func runTapeReplay(b *testing.B, rig *hotPathRig, streams func() []cpu.Stream) {
+	var refs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rig.engine.Run(streams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs += res.References
+	}
+	b.StopTimer()
+	if refs > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(refs), "ns/ref")
+	}
+}
+
+// BenchmarkHotPathTapeReplayAccel measures replaying a recorded tape:
+// stream generation (pattern state, rand draws) is gone; translation
+// and issue remain.
+func BenchmarkHotPathTapeReplayAccel(b *testing.B) {
+	rig := newHotPathRig(b, cpu.AcceleratorConfig(4))
+	t := tape.Record(rig.work.Streams(7), rig.layout)
+	runTapeReplay(b, rig, func() []cpu.Stream {
+		ss, err := t.Streams(&rig.layout)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ss
+	})
+}
+
+// BenchmarkHotPathSealedReplayAccel measures the sealed fast path: the
+// tape carries pre-translated physical lines for an already-populated
+// address space, so the engine also skips vm.TranslateLine — the floor
+// of the per-reference loop (MSHR + device timing only).
+func BenchmarkHotPathSealedReplayAccel(b *testing.B) {
+	rig := newHotPathRig(b, cpu.AcceleratorConfig(4))
+	t := tape.Record(rig.work.Streams(7), rig.layout)
+	ss, err := t.Streams(&rig.layout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rig.engine.Run(ss); err != nil { // populate the space
+		b.Fatal(err)
+	}
+	sealed, err := t.Seal(&rig.layout, rig.as)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runTapeReplay(b, rig, sealed.Streams)
 }

@@ -5,6 +5,7 @@ package fixture
 
 import (
 	"repro/internal/parallel"
+	"repro/internal/tape"
 	"repro/internal/workload"
 )
 
@@ -58,6 +59,27 @@ func localState(items []int) ([]int, error) {
 		}
 		return acc, nil
 	})
+}
+
+// Negative: a recorded reference tape is immutable after Record, so
+// concurrent cells replaying one shared tape only read it — the sweep
+// idiom the tape cache exists for.
+func sharedTapeReplay(t *tape.Tape, lays []*tape.Layout) error {
+	return parallel.Do(
+		func() error { _, err := t.Streams(lays[0]); return err },
+		func() error { _, err := t.Streams(lays[1]); return err },
+	)
+}
+
+// One layout captured by every cell: cells race on its allocation
+// record, and the tape would silently mix the cells' bases.
+func sharedLayoutCapture(items []int) tape.Layout {
+	var lay tape.Layout
+	_, _ = parallel.Map(items, func(i, v int) (int, error) {
+		lay.Allocs = nil // want "captured from the enclosing function"
+		return v, nil
+	})
+	return lay
 }
 
 // Suppressed: an acknowledged shared-state write.

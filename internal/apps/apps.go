@@ -119,6 +119,15 @@ func newKernelBase(name string, opts Options) kernelBase {
 // Name implements workload.Workload.
 func (k *kernelBase) Name() string { return k.name }
 
+// TapeKey implements workload.TapeKeyer: every kernel is constructed
+// from Options alone and runs its algorithm on synthetic data derived
+// deterministically from (options, seed), so the name plus the
+// defaulted options fully identify the emitted reference streams
+// modulo allocation bases.
+func (k *kernelBase) TapeKey() string {
+	return fmt.Sprintf("apps/%s/t%d/r%d/s%d", k.name, k.opts.Threads, k.opts.MaxRefs, k.opts.Scale)
+}
+
 // alloc creates one named array variable of n elements of elem bytes.
 func (k *kernelBase) alloc(env *workload.Env, name string, n, elem uint64) (*array, error) {
 	site := k.name + "/" + name

@@ -39,6 +39,22 @@ type BatchStream interface {
 	NextBatch(buf []Ref) int
 }
 
+// LineBatchStream is an optional BatchStream extension for replay
+// streams that already know each reference's physical line address —
+// sealed reference tapes (internal/tape), whose VAs were pre-translated
+// against an already-populated address space. NextBatchLines fills refs
+// and lines in lockstep and returns the count; the engine then skips
+// vm.TranslateLine for those references entirely. The contract extends
+// BatchStream's: the ref sequence must match what Next would yield, and
+// lines[i] must equal the owner address space's translation of
+// refs[i].VA at issue time (which is why sealing requires a populated
+// space: a pending demand fault would make that translation
+// time-dependent).
+type LineBatchStream interface {
+	BatchStream
+	NextBatchLines(refs []Ref, lines []geom.LineAddr) int
+}
+
 // batchSize is the engine's per-core refill granularity: one interface
 // call per this many references on the hot path.
 const batchSize = 64
@@ -297,9 +313,10 @@ func (m *mshrRing) evictMin() float64 {
 // boundStream is a stream with its owner address space resolved once at
 // setup, so the per-reference path never consults an ownership map.
 type boundStream struct {
-	src   Stream
-	batch BatchStream // src, when it implements BatchStream
-	as    *vm.AddressSpace
+	src       Stream
+	batch     BatchStream     // src, when it implements BatchStream
+	lineBatch LineBatchStream // src, when it carries pre-translated lines
+	as        *vm.AddressSpace
 }
 
 // coreState tracks one core's simulated progress.
@@ -309,10 +326,12 @@ type coreState struct {
 	streamIdx  int
 	bufPos     int     // next unread index in buf
 	bufLen     int     // filled prefix of buf
+	bufLines   bool    // lineBuf holds translations for the current buf
 	nextReady  float64 // earliest next issue
 	lastFinish float64
 	mshr       mshrRing
-	buf        [batchSize]Ref // refill buffer for the current stream
+	buf        [batchSize]Ref           // refill buffer for the current stream
+	lineBuf    [batchSize]geom.LineAddr // pre-translated lines (tape fast path)
 }
 
 // coreHeap orders cores by next ready time for lockstep interleaving.
@@ -425,6 +444,9 @@ func (e *Engine) RunProcs(procs []Proc) (Result, error) {
 			if b, ok := s.(BatchStream); ok {
 				bs.batch = b
 			}
+			if lb, ok := s.(LineBatchStream); ok {
+				bs.lineBatch = lb
+			}
 			bound = append(bound, bs)
 			known := false
 			for _, seen := range spaces {
@@ -473,14 +495,21 @@ func (e *Engine) RunProcs(procs []Proc) (Result, error) {
 			} else {
 				b := &c.streams[c.streamIdx]
 				got := false
-				if b.batch != nil {
+				if b.lineBatch != nil {
+					if n := b.lineBatch.NextBatchLines(c.buf[:], c.lineBuf[:]); n > 0 {
+						ref = c.buf[0]
+						c.bufPos, c.bufLen, c.bufLines = 1, n, true
+						got = true
+					}
+				} else if b.batch != nil {
 					if n := b.batch.NextBatch(c.buf[:]); n > 0 {
 						ref = c.buf[0]
-						c.bufPos, c.bufLen = 1, n
+						c.bufPos, c.bufLen, c.bufLines = 1, n, false
 						got = true
 					}
 				} else if r, ok := b.src.Next(); ok {
 					ref = r
+					c.bufLines = false
 					got = true
 				}
 				if !got {
@@ -502,9 +531,16 @@ func (e *Engine) RunProcs(procs []Proc) (Result, error) {
 				}
 			}
 			res.References++
-			line, err := c.streams[c.streamIdx].as.TranslateLine(ref.VA)
-			if err != nil {
-				return res, fmt.Errorf("cpu: core %d: %w", c.id, err)
+			var line geom.LineAddr
+			if c.bufLines {
+				// Tape fast path: the stream supplied the translation.
+				line = c.lineBuf[c.bufPos-1]
+			} else {
+				var err error
+				line, err = c.streams[c.streamIdx].as.TranslateLine(ref.VA)
+				if err != nil {
+					return res, fmt.Errorf("cpu: core %d: %w", c.id, err)
+				}
 			}
 			issue := c.nextReady
 			hit, wbVictim, wb := e.lookupCaches(c.id, line, ref.Write)

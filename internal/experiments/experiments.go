@@ -7,6 +7,13 @@
 // measurements; the Reports therefore carry the paper's *shape* claims
 // (who wins, by roughly what factor, where crossovers fall) as explicit
 // Check results.
+//
+// Every experiment drives its cells through system.Run/Compare/CoRun,
+// so the cross-cell caches underneath — one recorded reference tape
+// per {workload, seed}, one profiling pass per content key, pooled
+// HBM devices (DESIGN.md §12) — apply to all of them without the
+// experiments knowing: a figure's sweep pays stream generation once,
+// not once per cell.
 package experiments
 
 import (

@@ -53,9 +53,16 @@ func DefaultTiming() Timing {
 }
 
 // Scale returns the timing slowed by factor f (f=2 halves the memory
-// frequency). Used by the Fig 14 frequency sweep.
+// frequency). Used by the Fig 14 frequency sweep. Every parameter is a
+// duration in ns, so all of them dilate — including TREFI/TRFC, which
+// an earlier version dropped, silently disabling refresh on any scaled
+// refresh-enabled timing.
 func (t Timing) Scale(f float64) Timing {
-	return Timing{TRP: t.TRP * f, TRCD: t.TRCD * f, TCL: t.TCL * f, TBurst: t.TBurst * f, TFront: t.TFront * f}
+	return Timing{
+		TRP: t.TRP * f, TRCD: t.TRCD * f, TCL: t.TCL * f,
+		TBurst: t.TBurst * f, TFront: t.TFront * f,
+		TREFI: t.TREFI * f, TRFC: t.TRFC * f,
+	}
 }
 
 // MissLatency is the unloaded latency of a row-buffer miss.
@@ -68,12 +75,20 @@ type Device struct {
 	geom   geom.Geometry
 	dec    geom.Decoder
 	timing Timing
+	banks  int // row stride of the flattened bank planes
 
-	busFree     []float64   // per-channel data-bus availability
-	bankBusy    [][]float64 // per-channel, per-bank: last transfer completion
-	colReady    [][]float64 // per-channel, per-bank: earliest next column command
-	openRow     [][]int     // per-channel, per-bank open row (-1 = closed)
-	nextRefresh []float64   // per-channel: next refresh deadline (TREFI > 0)
+	// Bank state lives in stride-indexed structure-of-arrays planes
+	// ([ch*banks+bank]) carved out of one float64 backing allocation,
+	// replacing the per-channel slice-of-slices whose every access paid
+	// a pointer chase and whose construction paid ~3 allocations per
+	// channel per cell. openRow is int32 (DRAM row numbers are small)
+	// to halve its footprint; -1 = closed.
+	busFree     []float64 // per-channel data-bus availability
+	nextRefresh []float64 // per-channel next refresh deadline (TREFI > 0)
+	bankBusy    []float64 // per (ch,bank): last transfer completion
+	colReady    []float64 // per (ch,bank): earliest next column command
+	openRow     []int32   // per (ch,bank) open row
+	backing     []float64 // the one allocation behind the float planes
 
 	stats Stats
 }
@@ -99,7 +114,7 @@ func New(g geom.Geometry, t Timing) *Device {
 	if err := g.Check(); err != nil {
 		panic("hbm: " + err.Error())
 	}
-	d := &Device{geom: g, dec: g.NewDecoder(), timing: t}
+	d := &Device{geom: g, dec: g.NewDecoder(), timing: t, banks: g.Banks}
 	d.Reset()
 	return d
 }
@@ -115,38 +130,71 @@ func (d *Device) Decode(l geom.LineAddr) geom.HardwareAddress { return d.dec.Dec
 // Timing returns the device timing.
 func (d *Device) Timing() Timing { return d.timing }
 
-// Reset clears all bank state and statistics.
+// Reset clears all bank state and statistics. The backing arrays are
+// reused when already sized (the device-pool path), so a pooled device
+// resets with zero allocations.
 func (d *Device) Reset() {
 	g := d.geom
-	d.busFree = make([]float64, g.Channels)
-	d.bankBusy = make([][]float64, g.Channels)
-	d.colReady = make([][]float64, g.Channels)
-	d.openRow = make([][]int, g.Channels)
-	d.nextRefresh = make([]float64, g.Channels)
+	nb := g.Channels * g.Banks
+	need := 2*g.Channels + 2*nb
+	if cap(d.backing) < need {
+		d.backing = make([]float64, need)
+	}
+	b := d.backing[:need]
+	clear(b)
+	d.busFree = b[:g.Channels:g.Channels]
+	d.nextRefresh = b[g.Channels : 2*g.Channels : 2*g.Channels]
+	d.bankBusy = b[2*g.Channels : 2*g.Channels+nb : 2*g.Channels+nb]
+	d.colReady = b[2*g.Channels+nb : need:need]
+	if cap(d.openRow) < nb {
+		d.openRow = make([]int32, nb)
+	}
+	d.openRow = d.openRow[:nb]
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
 	for c := range d.nextRefresh {
 		d.nextRefresh[c] = d.timing.TREFI
 	}
-	for c := 0; c < g.Channels; c++ {
-		d.bankBusy[c] = make([]float64, g.Banks)
-		d.colReady[c] = make([]float64, g.Banks)
-		d.openRow[c] = make([]int, g.Banks)
-		for b := range d.openRow[c] {
-			d.openRow[c][b] = -1
-		}
+	cb := d.stats.ChannelBytes
+	if cap(cb) < g.Channels {
+		cb = make([]uint64, g.Channels)
 	}
-	d.stats = Stats{
-		ChannelBytes: make([]uint64, g.Channels),
-		ChannelBusy:  make([]float64, g.Channels),
+	cb = cb[:g.Channels]
+	clear(cb)
+	busy := d.stats.ChannelBusy
+	if cap(busy) < g.Channels {
+		busy = make([]float64, g.Channels)
 	}
+	busy = busy[:g.Channels]
+	clear(busy)
+	d.stats = Stats{ChannelBytes: cb, ChannelBusy: busy}
 }
 
 // Access issues one 64 B line access to hardware address ha arriving at
 // time `at` (ns) and returns its completion time. Open-page policy:
 // the accessed row stays open.
 func (d *Device) Access(at float64, ha geom.HardwareAddress) float64 {
-	ch, bank := ha.Channel, ha.Bank
+	return d.access(at, ha.Channel, ha.Bank, ha.Row)
+}
+
+// AccessLine decodes the hardware line address through the device's
+// precomputed decoder and issues it in the same pass — the fused
+// decode+issue path the memory controller uses, sparing the
+// HardwareAddress round trip per access.
+func (d *Device) AccessLine(at float64, l geom.LineAddr) float64 {
+	ha := d.dec.Decode(l)
+	return d.access(at, ha.Channel, ha.Bank, ha.Row)
+}
+
+// access is the timing core shared by Access and AccessLine. The
+// floating-point operations and their order are exactly those of the
+// original nested-slice implementation — only the indexing changed —
+// so completion times are bit-identical.
+func (d *Device) access(at float64, ch, bank, row int) float64 {
 	t := &d.timing
 	at += t.TFront // request traverses the controller front end
+	bi := ch*d.banks + bank
 
 	// Refresh: when the request would start past the channel's refresh
 	// deadline, the channel first stalls for TRFC and loses its open
@@ -157,13 +205,13 @@ func (d *Device) Access(at float64, ha geom.HardwareAddress) float64 {
 			if d.busFree[ch] < end {
 				d.busFree[ch] = end
 			}
-			for b := range d.openRow[ch] {
-				d.openRow[ch][b] = -1
-				if d.bankBusy[ch][b] < end {
-					d.bankBusy[ch][b] = end
+			for b := ch * d.banks; b < (ch+1)*d.banks; b++ {
+				d.openRow[b] = -1
+				if d.bankBusy[b] < end {
+					d.bankBusy[b] = end
 				}
-				if d.colReady[ch][b] < end {
-					d.colReady[ch][b] = end
+				if d.colReady[b] < end {
+					d.colReady[b] = end
 				}
 			}
 			d.nextRefresh[ch] += t.TREFI
@@ -172,27 +220,27 @@ func (d *Device) Access(at float64, ha geom.HardwareAddress) float64 {
 	}
 
 	var colIssue float64
-	if d.openRow[ch][bank] != ha.Row {
+	if int(d.openRow[bi]) != row {
 		// Row miss: the activate waits for the bank's outstanding
 		// transfer, precharges the old row (if any), then opens the new
 		// one. Activations in other banks of the same channel overlap
 		// freely — that is bank-level parallelism.
 		actStart := at
-		if b := d.bankBusy[ch][bank]; b > actStart {
+		if b := d.bankBusy[bi]; b > actStart {
 			actStart = b
 		}
-		if d.openRow[ch][bank] >= 0 {
+		if d.openRow[bi] >= 0 {
 			actStart += t.TRP
 		}
 		colIssue = actStart + t.TRCD
-		d.openRow[ch][bank] = ha.Row
+		d.openRow[bi] = int32(row)
 		d.stats.RowMisses++
 	} else {
 		// Row hit: column commands to an open row pipeline at the
 		// column-to-column cadence (≈ one burst), so CAS latency adds
 		// delay but not serialization.
 		colIssue = at
-		if r := d.colReady[ch][bank]; r > colIssue {
+		if r := d.colReady[bi]; r > colIssue {
 			colIssue = r
 		}
 		d.stats.RowHits++
@@ -204,8 +252,8 @@ func (d *Device) Access(at float64, ha geom.HardwareAddress) float64 {
 	finish := dataStart + t.TBurst
 
 	d.busFree[ch] = finish
-	d.bankBusy[ch][bank] = finish
-	d.colReady[ch][bank] = dataStart - t.TCL + t.TBurst
+	d.bankBusy[bi] = finish
+	d.colReady[bi] = dataStart - t.TCL + t.TBurst
 
 	d.stats.Requests++
 	d.stats.Bytes += geom.LineBytes

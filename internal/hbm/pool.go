@@ -1,0 +1,47 @@
+package hbm
+
+import (
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// Sweep cells are short-lived: system.Run boots a fresh machine per
+// (config × sweep-point), and before pooling each boot re-allocated the
+// device's bank-state planes and per-channel stats. The pool recycles
+// devices per {geometry, timing} — the only construction parameters —
+// and Reset restores a recycled device to the exact state New produces,
+// so Acquire is observationally identical to New.
+
+// poolKey identifies a device shape; both field types are comparable
+// value structs.
+type poolKey struct {
+	g geom.Geometry
+	t Timing
+}
+
+var devicePools sync.Map // poolKey → *sync.Pool
+
+// Acquire returns a reset device of the given shape, reusing a released
+// one when available.
+func Acquire(g geom.Geometry, t Timing) *Device {
+	p, ok := devicePools.Load(poolKey{g, t})
+	if !ok {
+		p, _ = devicePools.LoadOrStore(poolKey{g, t}, &sync.Pool{})
+	}
+	if d, ok := p.(*sync.Pool).Get().(*Device); ok {
+		d.Reset()
+		return d
+	}
+	return New(g, t)
+}
+
+// Release returns a device obtained from Acquire (or New) to the pool.
+// The caller must not use it afterwards; copy Stats() first.
+func Release(d *Device) {
+	if d == nil {
+		return
+	}
+	p, _ := devicePools.LoadOrStore(poolKey{d.geom, d.timing}, &sync.Pool{})
+	p.(*sync.Pool).Put(d)
+}

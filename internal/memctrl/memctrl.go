@@ -96,7 +96,7 @@ func (c *Controller) Access(at float64, l geom.LineAddr) (float64, error) {
 	} else {
 		ha = mapping.Map(c.global, l)
 	}
-	return c.dev.Access(at, c.dev.Decode(ha)), nil
+	return c.dev.AccessLine(at, ha), nil
 }
 
 // resolve returns the chunk's compiled crossbar configuration, filling

@@ -159,3 +159,39 @@ func TestSDAMWithDefaultsMatchesGlobalIdentity(t *testing.T) {
 		t.Fatalf("diverged: %+v vs %+v", sa, sb)
 	}
 }
+
+// TestIssuePathZeroAllocs pins the steady-state issue path — SDAM and
+// global — at zero allocations per access: the chunk's compiled
+// crossbar is cached, the AMU translation is table loads, and the
+// device's fused AccessLine touches only preallocated SoA planes.
+func TestIssuePathZeroAllocs(t *testing.T) {
+	dev := newDev()
+	table := cmt.New(dev.Geometry().Chunks())
+	idx, err := table.AllocMappingIndex(amu.ConfigFromShuffle(mapping.ForStride(16, dev.Geometry())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.BindChunk(1, idx); err != nil {
+		t.Fatal(err)
+	}
+	sdam := NewSDAM(dev, table, amu.New(8))
+	for i := 0; i < 1024; i++ { // warm the compiled-config cache
+		sdam.MustAccess(0, geom.Join(i%2, uint32(i)%geom.LinesPerChunk))
+	}
+	var i int
+	if n := testing.AllocsPerRun(500, func() {
+		i++
+		sdam.MustAccess(float64(i), geom.Join(i%2, uint32(i*7)%geom.LinesPerChunk))
+	}); n != 0 {
+		t.Fatalf("SDAM issue path allocates %.1f per access, want 0", n)
+	}
+
+	global := NewGlobal(newDev(), mapping.ForStride(16, dev.Geometry()))
+	global.MustAccess(0, 0)
+	if n := testing.AllocsPerRun(500, func() {
+		i++
+		global.MustAccess(float64(i), geom.LineAddr(i*16))
+	}); n != 0 {
+		t.Fatalf("global issue path allocates %.1f per access, want 0", n)
+	}
+}

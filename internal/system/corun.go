@@ -9,6 +9,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/mapping"
 	"repro/internal/profile"
+	"repro/internal/tape"
 	"repro/internal/wallclock"
 	"repro/internal/workload"
 )
@@ -79,6 +80,7 @@ func CoRun(ws []workload.Workload, opts Options) (Result, error) {
 	default:
 		m = bootSDAM(o)
 	}
+	defer releaseMachine(m)
 
 	// Set each workload up in its own process, installing selections
 	// into the shared CMT (exhausting the 256 slots is a real error the
@@ -94,11 +96,12 @@ func CoRun(ws []workload.Workload, opts Options) (Result, error) {
 			}
 			policy = func(site string) int { return siteID[site] }
 		}
-		env := &workload.Env{AS: as, Heap: heap.New(as), MapIDFor: policy}
+		var lay tape.Layout
+		env := &workload.Env{AS: as, Heap: heap.New(as), MapIDFor: policy, OnAlloc: lay.Note}
 		if err := w.Setup(env); err != nil {
 			return res, fmt.Errorf("system: co-run app %s: %w", w.Name(), err)
 		}
-		procs = append(procs, cpu.Proc{AS: as, Streams: w.Streams(o.EvalSeed + int64(i))})
+		procs = append(procs, cpu.Proc{AS: as, Streams: tape.StreamsFor(w, o.EvalSeed+int64(i), &lay)})
 	}
 
 	eng := cpu.New(o.Engine, m.ctrl, nil)

@@ -131,6 +131,14 @@ func (p *Proxy) Clone() Workload { return NewProxy(p.target, p.opts) }
 // Target returns the Table 1 row parameterizing this proxy.
 func (p *Proxy) Target() Table1Target { return p.target }
 
+// TapeKey implements TapeKeyer: a proxy's streams are fully determined
+// by its Table 1 row and options (after defaulting) plus the seed.
+func (p *Proxy) TapeKey() string {
+	o := p.opts.withDefaults()
+	return fmt.Sprintf("proxy/%s/t%d/r%d/s%g/m%d",
+		p.target.Name, o.Threads, o.Refs, o.SizeScale, o.MaxMinorVars)
+}
+
 // majorSizes generates NumMajor sizes (bytes, scaled) whose mean and
 // minimum match the published statistics: an arithmetic ramp from min to
 // 2·avg−min has mean avg.
@@ -263,6 +271,12 @@ func (s *StrideCopy) Name() string { return fmt.Sprintf("stridecopy-%v", s.Strid
 // Clone implements Cloner.
 func (s *StrideCopy) Clone() Workload {
 	return NewStrideCopy(append([]int(nil), s.Strides...), s.PerCopy, s.Bytes)
+}
+
+// TapeKey implements TapeKeyer: the stream emission is a pure function
+// of the stride vector, per-thread budget, buffer size, and seed.
+func (s *StrideCopy) TapeKey() string {
+	return fmt.Sprintf("stridecopy/%v/p%d/b%d", s.Strides, s.PerCopy, s.Bytes)
 }
 
 // Setup implements Workload: one source buffer per thread, each its own

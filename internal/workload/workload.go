@@ -35,6 +35,11 @@ type Env struct {
 	// Collector, when non-nil, is told about allocations so accesses can
 	// be attributed to variables.
 	Collector *trace.Collector
+	// OnAlloc, when non-nil, observes every allocation in program order —
+	// the hook the reference-tape layer uses to capture a run's VM layout
+	// (allocation site, base address, and size) so recorded reference
+	// streams can be rebased onto another run's layout.
+	OnAlloc func(site string, va vm.VA, bytes uint64)
 }
 
 // mapIDFor applies the policy with a nil-safe default.
@@ -54,6 +59,9 @@ func (e *Env) Alloc(site string, bytes uint64) (vm.VA, error) {
 	}
 	if e.Collector != nil {
 		e.Collector.NoteAlloc(site, va, bytes)
+	}
+	if e.OnAlloc != nil {
+		e.OnAlloc(site, va, bytes)
 	}
 	return va, nil
 }
@@ -86,6 +94,19 @@ func Clone(w Workload) Workload {
 		return c.Clone()
 	}
 	return w
+}
+
+// TapeKeyer is implemented by workloads whose reference streams are a
+// pure function of (construction parameters, seed) relative to their
+// allocation bases — every built-in workload. TapeKey returns a string
+// that changes whenever those parameters change; two workloads with
+// equal keys and equal seeds emit identical streams modulo allocation
+// base addresses, which is exactly the invariant the reference-tape
+// cache (internal/tape) needs to share one recording across sweep
+// cells. Workloads whose streams depend on anything else (e.g. external
+// file contents) must not implement the interface.
+type TapeKeyer interface {
+	TapeKey() string
 }
 
 // Pattern generates a variable's access-offset sequence.

@@ -34,6 +34,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/system"
+	"repro/internal/tape"
 	"repro/internal/trace"
 	"repro/internal/tracefile"
 	"repro/internal/vm"
@@ -107,6 +108,15 @@ func SetJobs(n int) int { return parallel.SetJobs(n) }
 
 // Jobs reports the current concurrency cap.
 func Jobs() int { return parallel.Jobs() }
+
+// TapeStats is a snapshot of the process-wide reference-tape cache
+// counters (see internal/tape): how many tapes were recorded vs shared,
+// and the host time spent recording — the tape-build half of
+// sdambench's schema-3 per-cell split.
+type TapeStats = tape.Stats
+
+// TapeCacheStats returns the current tape-cache counters.
+func TapeCacheStats() TapeStats { return tape.CacheStats() }
 
 // CoRun executes several workloads concurrently on one machine, each in
 // its own address space, sharing the memory system and (under SDAM) the
