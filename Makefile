@@ -1,0 +1,30 @@
+# Single-entry developer targets, used verbatim by CI so local runs and
+# the pipeline cannot drift.
+
+GO ?= go
+
+.PHONY: lint lint-json build test race bench
+
+# lint is the one gate for static checks: go vet plus the repository's
+# own determinism & concurrency suite (cmd/sdamvet, 8 rules — see
+# `go run ./cmd/sdamvet -list`).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/sdamvet ./...
+
+# lint-json re-runs the sdamvet suite with machine-readable output; CI
+# uploads the resulting findings file as an artifact even on failure.
+lint-json:
+	$(GO) run ./cmd/sdamvet -json ./... > sdamvet-findings.json
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=HotPath -benchtime=1x -run='^$$' . ./internal/vm

@@ -56,11 +56,25 @@ func NewAnalyzers() []Analyzer {
 		newSeededRand(),
 		newAtomicMix(),
 		newCloneSafety(),
+		newSlotWrite(),
+		newNoAlloc(),
+		newPoolPair(),
+		newTapeMut(),
 	}
 }
 
+// UnusedIgnoreRule is the pseudo-rule under which the suite reports
+// stale //lint:ignore comments — suppressions that no active analyzer's
+// diagnostic matched, which after a refactor silently stop documenting
+// anything true.
+const UnusedIgnoreRule = "unusedignore"
+
 // Run checks every loaded package with every analyzer and returns the
 // surviving (non-suppressed) diagnostics sorted by position then rule.
+// Suppressions that matched nothing are reported under UnusedIgnoreRule,
+// but only for rules present in the active analyzer set: an ignore for a
+// rule that was filtered out this run (-rules, or a single-analyzer
+// fixture pass) is not stale, just out of scope.
 func Run(analyzers []Analyzer, pkgs []*Package) []Diagnostic {
 	for _, p := range pkgs {
 		pass := &Pass{Pkg: p}
@@ -72,9 +86,29 @@ func Run(analyzers []Analyzer, pkgs []*Package) []Diagnostic {
 	for _, a := range analyzers {
 		diags = append(diags, a.Diagnostics()...)
 	}
-	diags = filterSuppressed(diags, pkgs)
+	sup := collectSuppressions(pkgs)
+	diags = filterSuppressed(diags, sup)
+	active := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		active[a.Rule()] = true
+	}
+	diags = append(diags, unusedSuppressions(sup, active)...)
 	sortDiagnostics(diags)
-	return diags
+	return dedupDiagnostics(diags)
+}
+
+// dedupDiagnostics drops exact duplicates from a sorted slice — an
+// interprocedural analyzer (poolpair) can rediscover the same finding
+// once per related call site.
+func dedupDiagnostics(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // Pass hands one type-checked package to an analyzer.
@@ -100,8 +134,19 @@ func sortDiagnostics(diags []Diagnostic) {
 	})
 }
 
-// suppressions maps file -> line -> the set of rule IDs ignored there.
-type suppressions map[string]map[int][]string
+// supEntry is one rule named by one //lint:ignore comment, with the
+// comment's position (for stale-suppression reporting) and whether any
+// diagnostic actually matched it this run.
+type supEntry struct {
+	rule string
+	pos  token.Position
+	used bool
+}
+
+// suppressions maps file -> comment line -> the entries registered
+// there. Entries are pointers so filterSuppressed can mark usage in
+// place and unusedSuppressions can audit what remains.
+type suppressions map[string]map[int][]*supEntry
 
 // collectSuppressions scans a package's comments for
 // "//lint:ignore sdamvet/<rule>[,sdamvet/<rule>...] reason" markers. A
@@ -120,14 +165,50 @@ func collectSuppressions(pkgs []*Package) suppressions {
 					}
 					pos := p.Fset.Position(c.Pos())
 					if sup[pos.Filename] == nil {
-						sup[pos.Filename] = make(map[int][]string)
+						sup[pos.Filename] = make(map[int][]*supEntry)
 					}
-					sup[pos.Filename][pos.Line] = append(sup[pos.Filename][pos.Line], rules...)
+					for _, r := range rules {
+						sup[pos.Filename][pos.Line] = append(sup[pos.Filename][pos.Line],
+							&supEntry{rule: r, pos: pos})
+					}
 				}
 			}
 		}
 	}
 	return sup
+}
+
+// unusedSuppressions reports every collected ignore marker no
+// diagnostic matched, restricted to rules in the active set. The map
+// ranges make collection order nondeterministic, so the result is
+// sorted before returning.
+func unusedSuppressions(sup suppressions, active map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, lines := range sup {
+		for _, entries := range lines {
+			for _, e := range entries {
+				if e.used || !active[e.rule] {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Pos:     e.pos,
+					Rule:    UnusedIgnoreRule,
+					Message: fmt.Sprintf("lint:ignore sdamvet/%s suppresses nothing; the finding it once justified is gone — delete the stale comment", e.rule),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return diags
 }
 
 // parseIgnore extracts the rule IDs from one comment, if it is an
@@ -152,12 +233,11 @@ func parseIgnore(text string) ([]string, bool) {
 	return rules, len(rules) > 0
 }
 
-func filterSuppressed(diags []Diagnostic, pkgs []*Package) []Diagnostic {
-	sup := collectSuppressions(pkgs)
+func filterSuppressed(diags []Diagnostic, sup suppressions) []Diagnostic {
 	out := diags[:0]
 	for _, d := range diags {
 		lines := sup[d.Pos.Filename]
-		if hasRule(lines[d.Pos.Line], d.Rule) || hasRule(lines[d.Pos.Line-1], d.Rule) {
+		if markUsed(lines[d.Pos.Line], d.Rule) || markUsed(lines[d.Pos.Line-1], d.Rule) {
 			continue
 		}
 		out = append(out, d)
@@ -165,13 +245,17 @@ func filterSuppressed(diags []Diagnostic, pkgs []*Package) []Diagnostic {
 	return out
 }
 
-func hasRule(rules []string, rule string) bool {
-	for _, r := range rules {
-		if r == rule {
-			return true
+// markUsed flags every entry matching rule as used and reports whether
+// any matched.
+func markUsed(entries []*supEntry, rule string) bool {
+	matched := false
+	for _, e := range entries {
+		if e.rule == rule {
+			e.used = true
+			matched = true
 		}
 	}
-	return false
+	return matched
 }
 
 // rootIdent unwraps selector/index/slice/star/paren chains to the

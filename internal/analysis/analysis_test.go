@@ -28,6 +28,70 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 
 var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
 
+// TestUnusedSuppressionAudit runs the FULL suite over the unusedignore
+// fixture: a lint:ignore that suppresses nothing must be reported under
+// the unusedignore pseudo-rule, a working marker and a marker for a
+// rule outside the active set must stay silent. This is the dedicated
+// harness for the audit, since runFixture rejects any rule other than
+// its analyzer's own.
+func TestUnusedSuppressionAudit(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "unusedignore"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	wants := collectWants(pkg)
+	diags := Run(NewAnalyzers(), []*Package{pkg})
+	matched := make(map[string]bool)
+	for _, d := range diags {
+		if d.Rule != UnusedIgnoreRule {
+			t.Errorf("unexpected rule %q on the unusedignore fixture: %s", d.Rule, d)
+			continue
+		}
+		ok := false
+		for _, w := range wants[d.Pos.Line] {
+			if strings.Contains(d.Message, w) {
+				matched[wantKey(d.Pos.Line, w)] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for line, subs := range wants {
+		for _, w := range subs {
+			if !matched[wantKey(line, w)] {
+				t.Errorf("unusedignore fixture line %d: expected a diagnostic containing %q, got none", line, w)
+			}
+		}
+	}
+}
+
+// TestRepoCleanUnderFullSuite pins the acceptance bar the CI lint step
+// enforces: the full suite over the whole module (what
+// `go run ./cmd/sdamvet ./...` runs) reports nothing — zero false
+// positives from the new rules and zero stale suppressions.
+func TestRepoCleanUnderFullSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	l, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("LoadPatterns: %v", err)
+	}
+	for _, d := range Run(NewAnalyzers(), pkgs) {
+		t.Errorf("repo not clean: %s", d)
+	}
+}
+
 func runFixture(t *testing.T, a Analyzer, dir string) {
 	t.Helper()
 	l, err := NewLoader(".")
@@ -104,20 +168,22 @@ func TestSuppressionPlacement(t *testing.T) {
 		{Pos: pos("f.go", 30), Rule: "seededrand"},
 	}
 	sup := suppressions{"f.go": {
-		10: {"maporder"},   // same line
-		19: {"maporder"},   // line above
-		30: {"seededrand"}, // different rule: maporder at 30 survives
+		10: {{rule: "maporder"}},   // same line
+		19: {{rule: "maporder"}},   // line above
+		30: {{rule: "seededrand"}}, // different rule: maporder at 30 survives
 	}}
-	var out []Diagnostic
-	for _, d := range diags {
-		lines := sup[d.Pos.Filename]
-		if hasRule(lines[d.Pos.Line], d.Rule) || hasRule(lines[d.Pos.Line-1], d.Rule) {
-			continue
-		}
-		out = append(out, d)
-	}
+	out := filterSuppressed(diags, sup)
 	if len(out) != 1 || out[0].Rule != "maporder" || out[0].Pos.Line != 30 {
 		t.Fatalf("suppression filtering: got %v, want only maporder at line 30", out)
+	}
+	for file, lines := range sup {
+		for line, entries := range lines {
+			for _, e := range entries {
+				if !e.used {
+					t.Errorf("%s:%d: matched suppression for %s not marked used", file, line, e.rule)
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,334 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// slotWrite implements sdamvet/slotwrite: the PR-4 slot-ownership
+// contract for parallel stages. Every parallel.Map / MapN / MapNWorker
+// thunk must write only slots it owns — positions derived from the
+// thunk's own parameters (the item index, the worker index, or the item
+// itself) — and leave cross-slot reduction to the serial code after the
+// fan-out. That is what makes sweep results bit-identical at any -jobs
+// count: slot writes commute, everything else does not.
+//
+// Inside a thunk literal passed to parallel.Map/MapN/MapNWorker, the
+// analyzer flags writes through captured variables when:
+//
+//   - the write indexes a captured slice/array at a position NOT
+//     derived from a thunk parameter (out[0] = v, out[k] = v with k
+//     captured): two cells then write the same slot and the reduction
+//     order becomes scheduling-dependent;
+//
+//   - the write stores into a captured map (m[k] = v): concurrent map
+//     writes fault, and even "disjoint" keys share the map's internals;
+//
+//   - the write stores through a captured selector or pointer without
+//     any index link (shared.field = v, *p = v): a shared-field store
+//     no slot owns;
+//
+//   - the thunk appends to a captured slice (append(out, v) in any
+//     position): append moves the backing array under concurrent
+//     readers and its element order is scheduling-dependent.
+//
+// "Derived from a thunk parameter" is tracked through thunk-local
+// variables: j := i*2 makes j index-derived when i is the index
+// parameter, and span-style thunks (func(_ int, s [2]int) with
+// for i := s[0]; i < s[1]; i++ { out[i] = … }) are sanctioned because
+// the item parameter identifies the cell just as well as its index.
+// parallel.Do thunks are exempt (they carry no index; clonesafety
+// watches their captured writes), as is the parallel package itself.
+type slotWrite struct {
+	diags []Diagnostic
+}
+
+func newSlotWrite() *slotWrite { return &slotWrite{} }
+
+func (s *slotWrite) Rule() string { return "slotwrite" }
+
+func (s *slotWrite) Doc() string {
+	return "parallel.Map/MapN thunk writing captured state outside its index-owned slot (non-index-derived positions, map stores, shared appends)"
+}
+
+func (s *slotWrite) Diagnostics() []Diagnostic { return s.diags }
+
+func (s *slotWrite) Check(p *Pass) {
+	pkg := p.Pkg
+	if strings.HasSuffix(pkg.Path, "internal/parallel") {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, th := range indexedParallelThunks(pkg, call) {
+				if lit, ok := ast.Unparen(th).(*ast.FuncLit); ok {
+					s.checkThunk(pkg, lit, nil)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// indexedParallelThunks returns the thunk arguments of a Map, MapN, or
+// MapNWorker call — the parallel entry points whose thunks receive an
+// identity (index/worker/item) that defines slot ownership. Do thunks
+// have no index and are not slotwrite's business.
+func indexedParallelThunks(pkg *Package, call *ast.CallExpr) []ast.Expr {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/parallel") {
+		return nil
+	}
+	switch fn.Name() {
+	case "Map":
+		if len(call.Args) >= 2 {
+			return call.Args[1:2]
+		}
+	case "MapN", "MapNWorker":
+		if len(call.Args) >= 3 {
+			return call.Args[2:3]
+		}
+	}
+	return nil
+}
+
+// checkThunk verifies one thunk's writes against the slot-ownership
+// contract. inherited carries the derived set of enclosing parallel
+// thunks, so nested fan-outs keep their outer identity sanctioned.
+func (s *slotWrite) checkThunk(pkg *Package, lit *ast.FuncLit, inherited map[types.Object]bool) {
+	derived := make(map[types.Object]bool)
+	for obj := range inherited {
+		derived[obj] = true
+	}
+	addParams := func(fl *ast.FuncLit) {
+		if fl.Type.Params == nil {
+			return
+		}
+		for _, field := range fl.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					derived[obj] = true
+				}
+			}
+		}
+	}
+	addParams(lit)
+
+	// Nested (non-parallel) function literals run inside the thunk, so
+	// their bodies obey the same rules; their parameters are bound by
+	// whoever calls them, which the analyzer cannot see, so they are
+	// optimistically treated as derived (a fn(i) helper pattern must not
+	// false-positive). Nested *parallel* thunks get their own checkThunk
+	// with the union, below.
+	nestedParallel := make(map[*ast.FuncLit]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			for _, th := range indexedParallelThunks(pkg, x) {
+				if inner, ok := ast.Unparen(th).(*ast.FuncLit); ok {
+					nestedParallel[inner] = true
+				}
+			}
+		case *ast.FuncLit:
+			if x != lit && !nestedParallel[x] {
+				addParams(x)
+			}
+		}
+		return true
+	})
+
+	// Propagate derivedness through thunk-local definitions to a fixed
+	// point: j := i + 1 derives j from i; for v := range items[i] derives
+	// v. The loop is bounded by the number of locals.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := objOf(pkg, id)
+					if obj == nil || derived[obj] || !declaredInside(obj, lit) {
+						continue
+					}
+					rhs := x.Rhs
+					if len(x.Lhs) == len(x.Rhs) {
+						rhs = x.Rhs[i : i+1]
+					}
+					for _, r := range rhs {
+						if mentionsDerived(pkg, r, derived) {
+							derived[obj] = true
+							changed = true
+							break
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if x.X == nil || !mentionsDerived(pkg, x.X, derived) {
+					return true
+				}
+				for _, e := range []ast.Expr{x.Key, x.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := objOf(pkg, id); obj != nil && !derived[obj] && declaredInside(obj, lit) {
+							derived[obj] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	captured := func(id *ast.Ident) types.Object {
+		obj := objOf(pkg, id)
+		if v, ok := obj.(*types.Var); !ok || v.IsField() {
+			return nil
+		}
+		if declaredInside(obj, lit) {
+			return nil
+		}
+		return obj
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && nestedParallel[inner] {
+			s.checkThunk(pkg, inner, derived)
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				s.checkWrite(pkg, lhs, derived, captured)
+			}
+		case *ast.IncDecStmt:
+			s.checkWrite(pkg, x.X, derived, captured)
+		case *ast.CallExpr:
+			s.checkAppend(pkg, x, captured)
+		}
+		return true
+	})
+}
+
+// checkWrite classifies one lvalue written inside a thunk.
+func (s *slotWrite) checkWrite(pkg *Package, lhs ast.Expr, derived map[types.Object]bool, captured func(*ast.Ident) types.Object) {
+	root := rootIdent(lhs)
+	if root == nil || root.Name == "_" {
+		return
+	}
+	obj := captured(root)
+	if obj == nil {
+		return
+	}
+	idx, container, hasIdx := rootmostIndex(lhs)
+	if !hasIdx {
+		// Plain writes to a captured ident (total = v) are clonesafety's
+		// classic case; slotwrite adds the selector/pointer variants.
+		if _, plain := ast.Unparen(lhs).(*ast.Ident); plain {
+			return
+		}
+		s.flag(pkg, lhs.Pos(), "shared-field store through captured %q inside a parallel thunk; no slot owns it, so cells race and the result depends on scheduling — write an index-owned slot and reduce serially", root.Name)
+		return
+	}
+	if ct := pkg.Info.TypeOf(container); ct != nil {
+		if _, isMap := ct.Underlying().(*types.Map); isMap {
+			s.flag(pkg, lhs.Pos(), "store into captured map %q inside a parallel thunk; concurrent map writes race even on distinct keys — collect into index-owned slots and merge serially after the fan-out", root.Name)
+			return
+		}
+	}
+	if mentionsDerived(pkg, idx, derived) {
+		return // out[i] = …, out[s[0]+k] = …: the cell owns that slot
+	}
+	s.flag(pkg, lhs.Pos(), "write to captured %q at a non-index-derived position inside a parallel thunk; cells do not own that slot, breaking bit-identity across -jobs counts — derive the position from the thunk's index/worker/item parameters", root.Name)
+}
+
+// checkAppend flags append calls whose first argument is a captured
+// slice: growth moves the backing array under concurrent cells and the
+// resulting element order is scheduling-dependent.
+func (s *slotWrite) checkAppend(pkg *Package, call *ast.CallExpr, captured func(*ast.Ident) types.Object) {
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) == 0 {
+		return
+	}
+	if _, isBuiltin := objOf(pkg, fn).(*types.Builtin); !isBuiltin {
+		return
+	}
+	root := rootIdent(call.Args[0])
+	if root == nil {
+		return
+	}
+	if obj := captured(root); obj != nil {
+		s.flag(pkg, call.Pos(), "append to captured slice %q inside a parallel thunk; append reallocates under concurrent cells and orders elements by scheduling — preallocate len(items) slots and write out[i]", root.Name)
+	}
+}
+
+func (s *slotWrite) flag(pkg *Package, pos token.Pos, format string, args ...any) {
+	s.diags = append(s.diags, Diagnostic{Pos: pkg.Fset.Position(pos), Rule: "slotwrite",
+		Message: fmt.Sprintf(format, args...)})
+}
+
+// rootmostIndex returns the index expression applied closest to the
+// lvalue's root identifier, with the expression being indexed: for
+// out[i].vals[j] it returns (i, out); for tr.losses[b] it returns
+// (b, tr.losses). hasIdx is false when the chain holds no index at all.
+func rootmostIndex(e ast.Expr) (idx ast.Expr, container ast.Expr, hasIdx bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			idx, container, hasIdx = x.Index, x.X, true
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return idx, container, hasIdx
+		}
+	}
+}
+
+// mentionsDerived reports whether any identifier inside e resolves to a
+// member of the derived set.
+func mentionsDerived(pkg *Package, e ast.Expr, derived map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := objOf(pkg, id); obj != nil && derived[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// declaredInside reports whether obj's declaration lies within the
+// function literal's span.
+func declaredInside(obj types.Object, lit *ast.FuncLit) bool {
+	return obj != nil && obj.Pos() != token.NoPos &&
+		obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+}

@@ -1,0 +1,105 @@
+// Package fixture exercises sdamvet/poolpair. Lines with a trailing
+// want comment must produce a poolpair diagnostic whose message
+// contains substr; every other line must stay silent.
+package fixture
+
+import (
+	"errors"
+
+	"repro/internal/geom"
+	"repro/internal/hbm"
+)
+
+var errBoot = errors.New("boot failed")
+
+// machine mirrors system's wrapper: boot acquires, the wrapper escapes
+// to the caller, releaseMachine hands the device back transitively.
+type machine struct {
+	dev *hbm.Device
+}
+
+// boot is an acquirer: the acquired device escapes inside the returned
+// wrapper, so ownership transfers to boot's caller.
+func boot(g geom.Geometry, t hbm.Timing) *machine {
+	dev := hbm.Acquire(g, t)
+	return &machine{dev: dev}
+}
+
+// releaseMachine is a transitive releaser of its parameter.
+func releaseMachine(m *machine) {
+	if m != nil {
+		hbm.Release(m.dev)
+	}
+}
+
+// Acquired and never released on any path: the device leaks.
+func neverReleased(g geom.Geometry, t hbm.Timing) int {
+	d := hbm.Acquire(g, t) // want "never released on any path"
+	return int(d.Stats().Requests)
+}
+
+// Released, but never via defer: a panic or early return between
+// Acquire and Release leaks the device.
+func notDeferred(g geom.Geometry, t hbm.Timing) int {
+	d := hbm.Acquire(g, t) // want "never via defer"
+	n := int(d.Stats().Requests)
+	hbm.Release(d)
+	return n
+}
+
+// A return slipped between the Acquire and the deferred Release: the
+// early-return path leaks.
+func earlyReturn(g geom.Geometry, t hbm.Timing, fail bool) (int, error) {
+	m := boot(g, t)
+	if fail {
+		return 0, errBoot // want "return between boot"
+	}
+	defer releaseMachine(m)
+	return int(m.dev.Stats().Requests), nil
+}
+
+// The result of an acquirer is discarded outright.
+func discarded(g geom.Geometry, t hbm.Timing) {
+	hbm.Acquire(g, t) // want "result of Acquire is discarded"
+}
+
+// Negative: the canonical pairing — defer immediately after acquiring.
+func paired(g geom.Geometry, t hbm.Timing, fail bool) (int, error) {
+	m := boot(g, t)
+	defer releaseMachine(m)
+	if fail {
+		return 0, errBoot
+	}
+	return int(m.dev.Stats().Requests), nil
+}
+
+// Negative: a direct deferred hbm.Release pairs just as well.
+func pairedDirect(g geom.Geometry, t hbm.Timing) int {
+	d := hbm.Acquire(g, t)
+	defer hbm.Release(d)
+	return int(d.Stats().Requests)
+}
+
+// Negative: returning the acquired device transfers ownership onward;
+// the caller inherits the release obligation.
+func transfer(g geom.Geometry, t hbm.Timing) *hbm.Device {
+	d := hbm.Acquire(g, t)
+	return d
+}
+
+// Suppressed: a reviewed site (the device intentionally lives for the
+// process lifetime) stays silent.
+func suppressed(g geom.Geometry, t hbm.Timing) int {
+	//lint:ignore sdamvet/poolpair process-lifetime device, reviewed
+	d := hbm.Acquire(g, t)
+	return int(d.Stats().Requests)
+}
+
+// Negative: building a wrapper around the device and returning it is
+// an ownership transfer, same as returning the device directly.
+func wrapperTransfer(g geom.Geometry, t hbm.Timing) *machine {
+	d := hbm.Acquire(g, t)
+	m := &machine{dev: d}
+	m.dev.Reset()
+	return m
+}

@@ -1,0 +1,32 @@
+// Package fixture exercises the unused-suppression audit: an ignore
+// marker that suppresses nothing is itself a finding (rule
+// unusedignore), while a marker doing real work — and one naming a rule
+// outside the active set — stays silent. The want comments here are
+// consumed by a dedicated test (not the per-analyzer harness) that runs
+// the full suite.
+package fixture
+
+import "math/rand"
+
+// The draw below is seeded and clean, so this marker suppresses
+// nothing.
+func staleMarker(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	//lint:ignore sdamvet/seededrand this draw stopped being global two refactors ago // want "suppresses nothing"
+	return r.Float64()
+}
+
+// Negative: this marker earns its keep — the global draw would be a
+// seededrand finding without it.
+func workingMarker() int64 {
+	//lint:ignore sdamvet/seededrand fixture exercises a used suppression
+	return rand.Int63()
+}
+
+// Negative: a marker for a rule not in the active set is out of scope,
+// not stale — the run cannot know whether its rule would have matched.
+func outOfScopeMarker(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	//lint:ignore sdamvet/notarule retired rule kept for illustration
+	return r.Float64()
+}

@@ -65,6 +65,8 @@ func MustNew(sizeBytes, ways int) *Cache {
 
 // Access looks up a line, filling it on miss, and reports whether it
 // hit.
+//
+//sdam:noalloc
 func (c *Cache) Access(line geom.LineAddr) bool {
 	hit, _, _ := c.AccessDirty(line, false)
 	return hit
@@ -74,6 +76,8 @@ func (c *Cache) Access(line geom.LineAddr) bool {
 // modified on this access, and when a miss evicts a dirty line the
 // victim's address is returned with evicted=true so the caller can issue
 // the write-back to memory.
+//
+//sdam:noalloc
 func (c *Cache) AccessDirty(line geom.LineAddr, dirty bool) (hit bool, victim geom.LineAddr, evicted bool) {
 	c.clock++
 	set := int(uint64(line) % uint64(c.sets))

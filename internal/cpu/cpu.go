@@ -214,6 +214,8 @@ func New(cfg Config, ctrl *memctrl.Controller, as *vm.AddressSpace) *Engine {
 // inclusive-fill policy). With WriteBack enabled, the level closest to
 // memory tracks dirtiness and returns any dirty victim for the caller
 // to write back.
+//
+//sdam:noalloc
 func (e *Engine) lookupCaches(c int, line geom.LineAddr, write bool) (hit bool, victim geom.LineAddr, wb bool) {
 	dirty := write && e.cfg.WriteBack
 	if e.l1 != nil {
@@ -238,6 +240,8 @@ func (e *Engine) lookupCaches(c int, line geom.LineAddr, write bool) (hit bool, 
 
 // fillCaches inserts a prefetched line into core c's hierarchy without
 // counting it as a demand access outcome.
+//
+//sdam:noalloc
 func (e *Engine) fillCaches(c int, line geom.LineAddr) {
 	if e.l1 != nil {
 		e.l1[c].Access(line)
@@ -270,7 +274,10 @@ func (m *mshrRing) init(slots int) {
 func (m *mshrRing) full() bool { return len(m.times) == cap(m.times) }
 
 // add records a miss completing at t.
+//
+//sdam:noalloc
 func (m *mshrRing) add(t float64) {
+	//lint:ignore sdamvet/noalloc full() gates add, so the append stays within the capacity init fixed
 	h := append(m.times, t)
 	j := len(h) - 1
 	for j > 0 {
@@ -285,6 +292,8 @@ func (m *mshrRing) add(t float64) {
 }
 
 // evictMin removes and returns the earliest completion time.
+//
+//sdam:noalloc
 func (m *mshrRing) evictMin() float64 {
 	h := m.times
 	t := h[0]
@@ -342,6 +351,7 @@ type coreState struct {
 // dispatch and interface{} boxing are gone.
 type coreHeap []*coreState
 
+//sdam:noalloc
 func (h coreHeap) up(j int) {
 	for {
 		i := (j - 1) / 2 // parent
@@ -353,6 +363,7 @@ func (h coreHeap) up(j int) {
 	}
 }
 
+//sdam:noalloc
 func (h coreHeap) down(i0, n int) {
 	i := i0
 	for {
@@ -377,6 +388,7 @@ func (h *coreHeap) push(c *coreState) {
 	h.up(len(*h) - 1)
 }
 
+//sdam:noalloc
 func (h *coreHeap) pop() *coreState {
 	s := *h
 	n := len(s) - 1
@@ -397,6 +409,8 @@ func (h *coreHeap) pop() *coreState {
 // way they did before the push); at 5+ elements the sift-down consults
 // pairs whose relative order the round-trip can legitimately reshuffle,
 // so those sizes always take the real round-trip.
+//
+//sdam:noalloc
 func (h coreHeap) canSkip(key float64) bool {
 	switch {
 	case len(h) == 0:

@@ -255,6 +255,8 @@ func (g Geometry) NewDecoder() Decoder {
 
 // Decode splits a line address into HA fields; see Geometry.Decode for
 // the layout and the bank-interleaving fold it reproduces exactly.
+//
+//sdam:noalloc
 func (d Decoder) Decode(l LineAddr) HardwareAddress {
 	off := uint64(l) & (1<<OffsetBits - 1)
 	var ha HardwareAddress

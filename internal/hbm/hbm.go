@@ -133,6 +133,8 @@ func (d *Device) Timing() Timing { return d.timing }
 // Reset clears all bank state and statistics. The backing arrays are
 // reused when already sized (the device-pool path), so a pooled device
 // resets with zero allocations.
+//
+//sdam:noalloc
 func (d *Device) Reset() {
 	g := d.geom
 	nb := g.Channels * g.Banks
@@ -174,6 +176,8 @@ func (d *Device) Reset() {
 // Access issues one 64 B line access to hardware address ha arriving at
 // time `at` (ns) and returns its completion time. Open-page policy:
 // the accessed row stays open.
+//
+//sdam:noalloc
 func (d *Device) Access(at float64, ha geom.HardwareAddress) float64 {
 	return d.access(at, ha.Channel, ha.Bank, ha.Row)
 }
@@ -182,6 +186,8 @@ func (d *Device) Access(at float64, ha geom.HardwareAddress) float64 {
 // precomputed decoder and issues it in the same pass — the fused
 // decode+issue path the memory controller uses, sparing the
 // HardwareAddress round trip per access.
+//
+//sdam:noalloc
 func (d *Device) AccessLine(at float64, l geom.LineAddr) float64 {
 	ha := d.dec.Decode(l)
 	return d.access(at, ha.Channel, ha.Bank, ha.Row)
@@ -191,6 +197,8 @@ func (d *Device) AccessLine(at float64, l geom.LineAddr) float64 {
 // floating-point operations and their order are exactly those of the
 // original nested-slice implementation — only the indexing changed —
 // so completion times are bit-identical.
+//
+//sdam:noalloc
 func (d *Device) access(at float64, ch, bank, row int) float64 {
 	t := &d.timing
 	at += t.TFront // request traverses the controller front end

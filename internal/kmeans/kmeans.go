@@ -82,6 +82,8 @@ func eachPoint(n int, fn func(i int)) {
 
 // nearest is the assignment kernel: the index and squared distance of
 // the centroid closest to p. It performs no allocations.
+//
+//sdam:noalloc
 func nearest(p []float64, centroids [][]float64) (int, float64) {
 	best, bestD := 0, math.Inf(1)
 	for c, cent := range centroids {
@@ -220,6 +222,7 @@ func seedPlusPlus(points [][]float64, k int, r *rand.Rand) [][]float64 {
 	return centroids
 }
 
+//sdam:noalloc
 func dist2(a, b []float64) float64 {
 	var s float64
 	for i := range a {

@@ -84,6 +84,8 @@ func (c *Controller) Table() *cmt.Table { return c.table }
 
 // Access issues the cache line at physical line address l arriving at
 // time `at` (ns) and returns the completion time.
+//
+//sdam:noalloc
 func (c *Controller) Access(at float64, l geom.LineAddr) (float64, error) {
 	var ha geom.LineAddr
 	if c.table != nil {
@@ -125,6 +127,8 @@ func (c *Controller) resolve(chunk int) (*amu.Compiled, error) {
 
 // MustAccess is Access for callers that have already validated the
 // address range; lookup errors indicate a harness bug and panic.
+//
+//sdam:noalloc
 func (c *Controller) MustAccess(at float64, l geom.LineAddr) float64 {
 	t, err := c.Access(at, l)
 	if err != nil {

@@ -288,6 +288,8 @@ func (m *Autoencoder) Embed(s Sequence) []float64 {
 // joint objective L = L_reconstruct + λ·‖h − μ‖² from §6.2 step 2
 // applies. Gradients accumulate into m's params (the master model when
 // serial, a shadow slot when batched). Steady state allocates nothing.
+//
+//sdam:noalloc
 func (m *Autoencoder) stepIn(sc *stepScratch, s Sequence, centroid []float64, lambda float64) float64 {
 	trainSteps.Add(1)
 	f := m.forwardIn(sc, s)

@@ -254,14 +254,18 @@ func Run(w workload.Workload, opts Options) (Result, error) {
 		m = bootGlobal(o, mapping.DefaultXORHash())
 	default:
 		m = bootSDAM(o)
+	}
+	defer releaseMachine(m)
+	if o.Kind != BSDM && o.Kind != BSBSM && o.Kind != BSHM {
 		// Install each cluster's mapping once and route sites to IDs.
+		// This runs after the defer above: an install error must still
+		// return the booted machine's device to the pool.
 		siteID, err := installSelection(m.kernel, prof, sel)
 		if err != nil {
 			return res, err
 		}
 		policy = func(site string) int { return siteID[site] }
 	}
-	defer releaseMachine(m)
 
 	run, err := runOn(m, w, o, o.EvalSeed, policy, nil)
 	if err != nil {

@@ -221,6 +221,8 @@ func (as *AddressSpace) FindVMA(va VA) *VMA {
 // in on first access. The hit path is a single dense-table load, small
 // enough to inline into callers; misses fall through to translateSlow,
 // the page-fault-handler path of §6.1.
+//
+//sdam:noalloc
 func (as *AddressSpace) Translate(va VA) (uint64, error) {
 	if idx := va.VPN() - as.ptBase; idx < uint64(len(as.frames)) {
 		if e := as.frames[idx]; e != 0 {
@@ -250,6 +252,8 @@ func (as *AddressSpace) translateSlow(va VA) (uint64, error) {
 // TranslateLine resolves a VA to the cache-line physical address the
 // memory controller consumes. The hit path shifts the cached frame
 // directly — no second table probe, no byte-address round trip.
+//
+//sdam:noalloc
 func (as *AddressSpace) TranslateLine(va VA) (geom.LineAddr, error) {
 	if idx := va.VPN() - as.ptBase; idx < uint64(len(as.frames)) {
 		if e := as.frames[idx]; e != 0 {
@@ -269,6 +273,8 @@ func (as *AddressSpace) TranslateLine(va VA) (geom.LineAddr, error) {
 // Tape sealing uses it to pre-translate a recorded stream against an
 // already-populated address space — a fault there would perturb the
 // fault order the simulated run is defined by.
+//
+//sdam:noalloc
 func (as *AddressSpace) TranslateLinePeek(va VA) (geom.LineAddr, bool) {
 	if idx := va.VPN() - as.ptBase; idx < uint64(len(as.frames)) {
 		if e := as.frames[idx]; e != 0 {

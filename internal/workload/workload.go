@@ -310,6 +310,8 @@ func (ms *mixStream) Next() (cpu.Ref, bool) {
 // NextBatch implements cpu.BatchStream: the same emission as repeated
 // Next calls, produced with the schedule wrap hoisted out of the
 // per-reference work.
+//
+//sdam:noalloc
 func (ms *mixStream) NextBatch(buf []cpu.Ref) int {
 	n := len(buf)
 	if n > ms.remaining {
