@@ -20,9 +20,12 @@
 // -baseline compares the fresh measurements against a committed report
 // and exits non-zero when any non-DL cell regressed more than
 // -baseline-tol times in ns/ref (default 3: deliberately loose, so only
-// order-of-magnitude hot-path regressions trip on noisy shared CI; DL
-// cells are exempt — their absolute cost is training-budget policy,
-// tracked by the trajectory file instead).
+// order-of-magnitude hot-path regressions trip on noisy shared CI). DL
+// cells are gated separately on select_ms — the selector-training share
+// of the cell, which the lane-fused f64 kernel layer keeps cheap — via
+// -baseline-select-tol (default 2), and only when both runs used the
+// same kernel acceleration (the report records it as select_accel).
+// -cpuprofile and -memprofile write pprof profiles covering the sweep.
 package main
 
 import (
@@ -31,8 +34,11 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
+	"repro/internal/f64"
 	"repro/internal/wallclock"
 	"repro/sdam"
 )
@@ -72,6 +78,10 @@ type benchReport struct {
 	Refs     int    `json:"refs"`
 	Clusters int    `json:"clusters"`
 	Jobs     int    `json:"jobs"`
+	// SelectAccel records whether the f64 assembly kernel layer was
+	// active for the run; select_ms numbers are only comparable between
+	// runs with the same value (schema 4).
+	SelectAccel bool `json:"select_accel"`
 	// Cells are timed one at a time (unloaded host).
 	Cells []benchCell `json:"cells"`
 	// SweepWallMs is the wall-clock of the same sweep run through the
@@ -90,6 +100,9 @@ func main() {
 	jsonPath := flag.String("json", "", "also time each cell and write perf measurements to this file")
 	baseline := flag.String("baseline", "", "committed -json report to diff against; ns/ref regressions beyond -baseline-tol in non-DL cells fail")
 	baselineTol := flag.Float64("baseline-tol", 3.0, "regression factor tolerated by -baseline before failing")
+	selectTol := flag.Float64("baseline-select-tol", 2.0, "select_ms regression factor tolerated by -baseline in DL cells before failing")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 	flag.Parse()
 	if flag.NArg() != 1 && *bench == "" {
 		fmt.Fprintln(os.Stderr, "usage: sdambench [flags] <benchmark>|standard|data")
@@ -97,6 +110,39 @@ func main() {
 		os.Exit(2)
 	}
 	sdam.SetJobs(*jobs)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// stopProfiles finalizes both profiles once the measured work is
+	// done, before any baseline verdict — a failing gate still leaves
+	// the profiles behind to diagnose the regression with.
+	stopProfiles := func() {
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+	}
 
 	var eng sdam.EngineConfig
 	switch *engine {
@@ -130,10 +176,12 @@ func main() {
 
 	if *jsonPath != "" {
 		rep := benchReport{
-			Schema: 3, Engine: eng.Name, Cores: *cores,
+			Schema: 4, Engine: eng.Name, Cores: *cores,
 			Refs: *refs, Clusters: *clusters, Jobs: sdam.Jobs(),
+			SelectAccel: f64.Accelerated(),
 		}
 		runTimed(&rep, names, base, kinds, *refs)
+		stopProfiles()
 		out, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
@@ -144,7 +192,7 @@ func main() {
 			os.Exit(1)
 		}
 		if *baseline != "" {
-			if err := checkBaseline(rep, *baseline, *baselineTol); err != nil {
+			if err := checkBaseline(rep, *baseline, *baselineTol, *selectTol); err != nil {
 				fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
 				os.Exit(1)
 			}
@@ -171,6 +219,7 @@ func main() {
 		}
 		printRow(name, results)
 	}
+	stopProfiles()
 }
 
 func printHeader(kinds []sdam.Kind) {
@@ -257,13 +306,18 @@ func runTimed(rep *benchReport, names []string, base sdam.Options, kinds []sdam.
 // errors when a matching non-DL cell regressed more than tol times in
 // ns/ref. The default tolerance is deliberately loose — host timing on
 // shared CI is noisy — so only order-of-magnitude hot-path regressions
-// trip it. DL cells are exempt: their cost is dominated by the training
-// budget, a policy knob the trajectory file tracks rather than gates.
+// trip it. DL cells are gated on select_ms instead of ns/ref: their
+// wall-clock is dominated by selector training, whose cost the f64
+// kernel layer is accountable for, so a matching DL cell whose
+// select_ms exceeds selectTol times the baseline's fails. The select
+// gate only applies when both runs had the same kernel acceleration
+// (select_accel) and the baseline cell's select_ms is positive — a
+// scalar-fallback CI host is slower by design, not regressed.
 // A baseline with zero or NaN ns/ref cells is rejected outright: every
 // comparison against such a cell would silently pass, which is how a
 // truncated or hand-edited baseline disables the gate without anyone
 // noticing.
-func checkBaseline(rep benchReport, path string, tol float64) error {
+func checkBaseline(rep benchReport, path string, tol, selectTol float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -274,6 +328,9 @@ func checkBaseline(rep benchReport, path string, tol float64) error {
 	}
 	if tol <= 0 || math.IsNaN(tol) {
 		return fmt.Errorf("baseline: -baseline-tol %v must be a positive factor", tol)
+	}
+	if selectTol <= 0 || math.IsNaN(selectTol) {
+		return fmt.Errorf("baseline: -baseline-select-tol %v must be a positive factor", selectTol)
 	}
 	for _, c := range base.Cells {
 		if !(c.NsPerRef > 0) || math.IsNaN(c.NsPerRef) || math.IsInf(c.NsPerRef, 0) {
@@ -294,12 +351,20 @@ func checkBaseline(rep benchReport, path string, tol float64) error {
 	}
 	type key struct{ bench, config string }
 	baseNs := make(map[key]float64, len(base.Cells))
+	baseSelect := make(map[key]float64, len(base.Cells))
 	for _, c := range base.Cells {
 		baseNs[key{c.Benchmark, c.Config}] = c.NsPerRef
+		baseSelect[key{c.Benchmark, c.Config}] = c.SelectMs
 	}
+	selectComparable := base.SelectAccel == rep.SelectAccel
 	var fails []string
 	for _, c := range rep.Cells {
 		if strings.Contains(c.Config, "DL") {
+			b, ok := baseSelect[key{c.Benchmark, c.Config}]
+			if ok && selectComparable && b > 0 && c.SelectMs > selectTol*b {
+				fails = append(fails, fmt.Sprintf("%s/%s: select %.1f ms vs baseline %.1f (%.1fx > %gx)",
+					c.Benchmark, c.Config, c.SelectMs, b, c.SelectMs/b, selectTol))
+			}
 			continue
 		}
 		b, ok := baseNs[key{c.Benchmark, c.Config}]

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -186,7 +187,11 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	return p, nil
 }
 
-// goSources lists the non-test Go files of dir in sorted order.
+// goSources lists the non-test Go files of dir in sorted order,
+// honoring build constraints (//go:build lines and GOOS/GOARCH file
+// suffixes) for the host platform exactly like the go tool — otherwise
+// a package with per-architecture variants of one declaration would
+// type-check as a redeclaration.
 func goSources(dir string) ([]string, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -197,6 +202,9 @@ func goSources(dir string) ([]string, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

@@ -11,7 +11,7 @@ import (
 
 // buildProfile creates a collector with nVars variables, each accessed
 // with its own stride, and returns the profile and delta trace.
-func buildProfile(t *testing.T, strides []int, refsPer int) (profile.Profile, []trace.DeltaSample) {
+func buildProfile(t testing.TB, strides []int, refsPer int) (profile.Profile, []trace.DeltaSample) {
 	t.Helper()
 	c := trace.NewCollector(0)
 	base := vm.VA(1) << 32

@@ -1,0 +1,280 @@
+// Vectorized LSTM gate nonlinearities. The scalar kernel spends most of
+// its time in math.Exp and math.Tanh; this file evaluates both four
+// lanes at a time with the *same algorithms*:
+//
+//   - expv4<> is the packed mirror of the standard library's archExp
+//     avxfma path (Shibata's method): identical constants, identical
+//     operation order, with the scalar VFNMADD231SD/VFMADD213SD steps
+//     widened to their packed forms, which round identically per lane.
+//     CVTSD2SL and VCVTPD2DQ both round via MXCSR, so the exponent
+//     split matches too. Preconditions (caller-checked): every lane is
+//     finite with |x| <= 700, which keeps the result strictly in the
+//     normal range (no overflow/underflow/denormal branches needed).
+//   - tanh4<> mirrors math.Tanh's three-case structure (cephes): the
+//     |x| > 44.014... saturation, the exp(2|x|) reflection, and the
+//     rational polynomial, evaluated with separate VMULPD/VADDPD (the
+//     compiled Go uses no FMA contraction) and combined with blends in
+//     the same precedence order as the scalar switch. The x == 0 early
+//     return is reproduced with an equality blend so ±0 keep their
+//     sign bit. exp(2|x|) is only selected on lanes with |x| in
+//     [0.625, 44.015], where its argument is always in expv4's safe
+//     domain; other lanes' garbage is blended away.
+//
+// lstmGates4 bails out (returning the number of elements completed)
+// before processing any block whose sigmoid inputs leave the safe
+// domain; the Go wrapper finishes with the scalar loop, so every
+// element is produced by exactly one of two bit-identical paths.
+
+#include "textflag.h"
+
+DATA gatesignmask<>+0(SB)/8, $0x8000000000000000
+GLOBL gatesignmask<>+0(SB), RODATA, $8
+DATA gateabsmask<>+0(SB)/8, $0x7FFFFFFFFFFFFFFF
+GLOBL gateabsmask<>+0(SB), RODATA, $8
+DATA gatesafe<>+0(SB)/8, $700.0
+GLOBL gatesafe<>+0(SB), RODATA, $8
+
+// archExp's constants (math/exp_amd64.s).
+DATA explog2e<>+0(SB)/8, $1.4426950408889634073599246810018920
+GLOBL explog2e<>+0(SB), RODATA, $8
+DATA expln2u<>+0(SB)/8, $0.69314718055966295651160180568695068359375
+GLOBL expln2u<>+0(SB), RODATA, $8
+DATA expln2l<>+0(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+GLOBL expln2l<>+0(SB), RODATA, $8
+DATA exp0625<>+0(SB)/8, $0.0625
+GLOBL exp0625<>+0(SB), RODATA, $8
+DATA exphalf<>+0(SB)/8, $0.5
+GLOBL exphalf<>+0(SB), RODATA, $8
+DATA expone<>+0(SB)/8, $1.0
+GLOBL expone<>+0(SB), RODATA, $8
+DATA exptwo<>+0(SB)/8, $2.0
+GLOBL exptwo<>+0(SB), RODATA, $8
+DATA expc3<>+0(SB)/8, $1.6666666666666666667e-1
+GLOBL expc3<>+0(SB), RODATA, $8
+DATA expc4<>+0(SB)/8, $4.1666666666666666667e-2
+GLOBL expc4<>+0(SB), RODATA, $8
+DATA expc5<>+0(SB)/8, $8.3333333333333333333e-3
+GLOBL expc5<>+0(SB), RODATA, $8
+DATA expc6<>+0(SB)/8, $1.3888888888888888889e-3
+GLOBL expc6<>+0(SB), RODATA, $8
+DATA expc7<>+0(SB)/8, $1.9841269841269841270e-4
+GLOBL expc7<>+0(SB), RODATA, $8
+DATA expc8<>+0(SB)/8, $2.4801587301587301587e-5
+GLOBL expc8<>+0(SB), RODATA, $8
+DATA expbias<>+0(SB)/4, $0x3FF
+DATA expbias<>+4(SB)/4, $0x3FF
+DATA expbias<>+8(SB)/4, $0x3FF
+DATA expbias<>+12(SB)/4, $0x3FF
+GLOBL expbias<>+0(SB), RODATA, $16
+
+// math.Tanh's constants (math/tanh.go).
+DATA tanhmax<>+0(SB)/8, $4.4014845965556527147994e+01
+GLOBL tanhmax<>+0(SB), RODATA, $8
+DATA tanh0625<>+0(SB)/8, $0.625
+GLOBL tanh0625<>+0(SB), RODATA, $8
+DATA tanhp0<>+0(SB)/8, $-9.64399179425052238628e-1
+GLOBL tanhp0<>+0(SB), RODATA, $8
+DATA tanhp1<>+0(SB)/8, $-9.92877231001918586564e1
+GLOBL tanhp1<>+0(SB), RODATA, $8
+DATA tanhp2<>+0(SB)/8, $-1.61468768441708447952e3
+GLOBL tanhp2<>+0(SB), RODATA, $8
+DATA tanhq0<>+0(SB)/8, $1.12811678491632931402e2
+GLOBL tanhq0<>+0(SB), RODATA, $8
+DATA tanhq1<>+0(SB)/8, $2.23548839060100448583e3
+GLOBL tanhq1<>+0(SB), RODATA, $8
+DATA tanhq2<>+0(SB)/8, $4.84406305325125486048e3
+GLOBL tanhq2<>+0(SB), RODATA, $8
+
+// expv4<>: Y0 = exp(Y0) per lane. Clobbers Y1-Y4. Precondition: every
+// lane that the caller will consume is finite with |x| <= 700.
+TEXT expv4<>(SB), NOSPLIT, $0-0
+	VBROADCASTSD explog2e<>(SB), Y1
+	VMULPD       Y0, Y1, Y1       // LOG2E*x
+	VCVTPD2DQY   Y1, X2           // e = round(LOG2E*x), MXCSR rounding
+	VCVTDQ2PD    X2, Y1
+	VBROADCASTSD expln2u<>(SB), Y3
+	VFNMADD231PD Y3, Y1, Y0       // x -= e*LN2U (fused, as archExp)
+	VBROADCASTSD expln2l<>(SB), Y3
+	VFNMADD231PD Y3, Y1, Y0       // x -= e*LN2L
+	VBROADCASTSD exp0625<>(SB), Y3
+	VMULPD       Y3, Y0, Y0       // reduce argument
+	VBROADCASTSD expc8<>(SB), Y1
+	VBROADCASTSD expc7<>(SB), Y3
+	VFMADD213PD  Y3, Y0, Y1       // Taylor series, archExp's order
+	VBROADCASTSD expc6<>(SB), Y3
+	VFMADD213PD  Y3, Y0, Y1
+	VBROADCASTSD expc5<>(SB), Y3
+	VFMADD213PD  Y3, Y0, Y1
+	VBROADCASTSD expc4<>(SB), Y3
+	VFMADD213PD  Y3, Y0, Y1
+	VBROADCASTSD expc3<>(SB), Y3
+	VFMADD213PD  Y3, Y0, Y1
+	VBROADCASTSD exphalf<>(SB), Y3
+	VFMADD213PD  Y3, Y0, Y1
+	VBROADCASTSD expone<>(SB), Y3
+	VFMADD213PD  Y3, Y0, Y1
+	VMULPD       Y1, Y0, Y0       // undo the 1/16 reduction:
+	VBROADCASTSD exptwo<>(SB), Y4
+	VADDPD       Y4, Y0, Y1       // fr = fr*(fr+2), four times
+	VMULPD       Y1, Y0, Y0
+	VADDPD       Y4, Y0, Y1
+	VMULPD       Y1, Y0, Y0
+	VADDPD       Y4, Y0, Y1
+	VMULPD       Y1, Y0, Y0
+	VADDPD       Y4, Y0, Y1
+	VBROADCASTSD expone<>(SB), Y3
+	VFMADD213PD  Y3, Y1, Y0       // fr = fr*(fr+2) + 1
+	VPADDD       expbias<>(SB), X2, X2
+	VPMOVZXDQ    X2, Y2
+	VPSLLQ       $52, Y2, Y2      // 2**e as bits
+	VMULPD       Y2, Y0, Y0       // ldexp
+	RET
+
+// sigmoid4<>: Y0 = 1/(1+exp(-Y0)) per lane. Clobbers Y1-Y4.
+// Same safe-domain precondition as expv4<>.
+TEXT sigmoid4<>(SB), NOSPLIT, $0-0
+	VBROADCASTSD gatesignmask<>(SB), Y1
+	VXORPD       Y1, Y0, Y0       // -x
+	CALL         expv4<>(SB)
+	VBROADCASTSD expone<>(SB), Y1
+	VADDPD       Y1, Y0, Y0       // 1 + exp(-x)
+	VDIVPD       Y0, Y1, Y0       // 1/(1+exp(-x))
+	RET
+
+// tanh4<>: Y0 = tanh(Y0) per lane, any input. Clobbers Y1-Y10.
+TEXT tanh4<>(SB), NOSPLIT, $0-0
+	VMOVAPD      Y0, Y8           // x
+	VBROADCASTSD gateabsmask<>(SB), Y1
+	VANDPD       Y1, Y0, Y9       // z = |x|
+	VADDPD       Y9, Y9, Y0
+	CALL         expv4<>(SB)      // s = exp(2z); valid where selected
+	VBROADCASTSD expone<>(SB), Y1
+	VADDPD       Y1, Y0, Y2       // s+1
+	VBROADCASTSD exptwo<>(SB), Y3
+	VDIVPD       Y2, Y3, Y2       // 2/(s+1)
+	VSUBPD       Y2, Y1, Y10      // 1 - 2/(s+1)
+	VBROADCASTSD gatesignmask<>(SB), Y1
+	VANDPD       Y1, Y8, Y2
+	VXORPD       Y2, Y10, Y10     // restore x's sign
+	VMULPD       Y8, Y8, Y3       // s = x*x
+	VBROADCASTSD tanhp0<>(SB), Y4
+	VMULPD       Y3, Y4, Y4       // tanhP[0]*s
+	VBROADCASTSD tanhp1<>(SB), Y5
+	VADDPD       Y5, Y4, Y4
+	VMULPD       Y3, Y4, Y4
+	VBROADCASTSD tanhp2<>(SB), Y5
+	VADDPD       Y5, Y4, Y4       // P(s)
+	VBROADCASTSD tanhq0<>(SB), Y5
+	VADDPD       Y5, Y3, Y6       // s+tanhQ[0]
+	VMULPD       Y3, Y6, Y6
+	VBROADCASTSD tanhq1<>(SB), Y5
+	VADDPD       Y5, Y6, Y6
+	VMULPD       Y3, Y6, Y6
+	VBROADCASTSD tanhq2<>(SB), Y5
+	VADDPD       Y5, Y6, Y6       // Q(s)
+	VMULPD       Y3, Y8, Y5       // x*s
+	VMULPD       Y4, Y5, Y5       // (x*s)*P(s): Go divides last,
+	VDIVPD       Y6, Y5, Y5       // so numerator first, then /Q(s)
+	VADDPD       Y5, Y8, Y5       // x + (x*s*P)/Q
+	VXORPD       Y6, Y6, Y6
+	VCMPPD       $0, Y6, Y8, Y7   // x == 0: keep x itself (±0 sign)
+	VBLENDVPD    Y7, Y8, Y5, Y5
+	VBROADCASTSD tanh0625<>(SB), Y1
+	VCMPPD       $0x1D, Y1, Y9, Y2 // z >= 0.625: exp path
+	VBLENDVPD    Y2, Y10, Y5, Y5
+	VBROADCASTSD tanhmax<>(SB), Y1
+	VCMPPD       $0x1E, Y1, Y9, Y2 // z > 0.5*MAXLOG: saturate to ±1
+	VBROADCASTSD expone<>(SB), Y3
+	VBROADCASTSD gatesignmask<>(SB), Y4
+	VANDPD       Y4, Y8, Y4
+	VORPD        Y4, Y3, Y3
+	VBLENDVPD    Y2, Y3, Y5, Y0
+	RET
+
+// func lstmGates4(ig, fg, gg, og, c, tc, pre, cPrev *float64, hn int) int
+// Processes hn's leading multiple-of-4 elements of the LSTM gate
+// update, stopping early (before touching the block) if a sigmoid
+// input leaves the safe exp domain. Returns the count completed; the
+// caller finishes the tail with the scalar loop and fills h = og*tc
+// for the completed prefix.
+TEXT ·lstmGates4(SB), NOSPLIT, $0-80
+	MOVQ ig+0(FP), DI
+	MOVQ fg+8(FP), R8
+	MOVQ gg+16(FP), R9
+	MOVQ og+24(FP), R10
+	MOVQ c+32(FP), R11
+	MOVQ tc+40(FP), R13
+	MOVQ pre+48(FP), SI
+	MOVQ cPrev+56(FP), AX
+	MOVQ hn+64(FP), CX
+	LEAQ (SI)(CX*8), R12          // forget-gate pre-activations
+	LEAQ (R12)(CX*8), R15         // cell pre-activations
+	LEAQ (R15)(CX*8), DX          // output-gate pre-activations
+
+gates_block:
+	CMPQ CX, $4
+	JB   gates_done
+
+	// Bail before the block if any sigmoid input has |x| > 700 or NaN.
+	VBROADCASTSD gateabsmask<>(SB), Y3
+	VBROADCASTSD gatesafe<>(SB), Y4
+	VMOVUPD      (SI), Y0
+	VMOVUPD      (R12), Y1
+	VMOVUPD      (DX), Y2
+	VANDPD       Y3, Y0, Y5
+	VANDPD       Y3, Y1, Y6
+	VANDPD       Y3, Y2, Y7
+	VCMPPD       $6, Y4, Y5, Y5   // NLE_UQ: unsafe or NaN
+	VCMPPD       $6, Y4, Y6, Y6
+	VCMPPD       $6, Y4, Y7, Y7
+	VORPD        Y6, Y5, Y5
+	VORPD        Y7, Y5, Y5
+	VMOVMSKPD    Y5, BX
+	TESTL        BX, BX
+	JNZ          gates_done
+
+	CALL    sigmoid4<>(SB)        // Y0 = input gate (pre loaded above)
+	VMOVAPD Y0, Y11
+	VMOVUPD (R12), Y0
+	CALL    sigmoid4<>(SB)        // forget gate
+	VMOVAPD Y0, Y12
+	VMOVUPD (R15), Y0
+	CALL    tanh4<>(SB)           // cell candidate
+	VMOVAPD Y0, Y13
+	VMOVUPD (DX), Y0
+	CALL    sigmoid4<>(SB)        // output gate
+	VMOVAPD Y0, Y14
+
+	VMOVUPD (AX), Y1              // cPrev
+	VMULPD  Y1, Y12, Y1           // fg*cPrev
+	VMULPD  Y13, Y11, Y2          // ig*gg
+	VADDPD  Y2, Y1, Y1            // c
+	VMOVUPD Y11, (DI)
+	VMOVUPD Y12, (R8)
+	VMOVUPD Y13, (R9)
+	VMOVUPD Y14, (R10)
+	VMOVUPD Y1, (R11)
+	VMOVAPD Y1, Y0
+	CALL    tanh4<>(SB)           // tc = tanh(c)
+	VMOVUPD Y0, (R13)
+
+	ADDQ $32, SI
+	ADDQ $32, R12
+	ADDQ $32, R15
+	ADDQ $32, DX
+	ADDQ $32, AX
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R13
+	SUBQ $4, CX
+	JMP  gates_block
+
+gates_done:
+	MOVQ hn+64(FP), BX
+	SUBQ CX, BX
+	MOVQ BX, ret+72(FP)
+	VZEROUPPER
+	RET

@@ -1,0 +1,114 @@
+package f64
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestLSTMGates4DifferentialScan brute-forces the packed gate kernel
+// against the scalar sigmoid/tanh definitions over a fixed-seed random
+// sweep. The packed exp mirrors math.Exp's FMA algorithm and the packed
+// tanh mirrors math.Tanh's cephes structure — including its
+// division-last polynomial association, which a 200k-point scan like
+// this one is what caught getting wrong (a divide-first refactor is a
+// 1-ulp error on roughly one input in a thousand, invisible to
+// small fixed test vectors).
+func TestLSTMGates4DifferentialScan(t *testing.T) {
+	if !useAsm {
+		t.Skip("no assembly kernels on this platform")
+	}
+	iters := 200000
+	if testing.Short() {
+		iters = 20000
+	}
+	rng := rand.New(rand.NewSource(42))
+	ig, fg, gg, og := make([]float64, 4), make([]float64, 4), make([]float64, 4), make([]float64, 4)
+	c, tc := make([]float64, 4), make([]float64, 4)
+	pre := make([]float64, 16)
+	cp := make([]float64, 4)
+	sig := func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+	bad := 0
+	for iter := 0; iter < iters && bad < 5; iter++ {
+		for i := range pre {
+			pre[i] = rng.NormFloat64() * 8
+		}
+		for i := range cp {
+			cp[i] = rng.NormFloat64() * 4
+		}
+		if iter%64 == 0 {
+			// Season the exactness corners: exact and negative zeros in
+			// the tanh inputs (x == 0 must return the same signed zero).
+			pre[8+iter%4] = math.Copysign(0, float64(iter%128-64))
+		}
+		n := lstmGates4(&ig[0], &fg[0], &gg[0], &og[0], &c[0], &tc[0], &pre[0], &cp[0], 4)
+		if n != 4 {
+			continue // out-of-safe-domain bail; the wrapper finishes scalar
+		}
+		for j := 0; j < 4; j++ {
+			wi := sig(pre[j])
+			wf := sig(pre[4+j])
+			wg := math.Tanh(pre[8+j])
+			wo := sig(pre[12+j])
+			wc := wf*cp[j] + wi*wg
+			wtc := math.Tanh(wc)
+			chk := func(name string, got, want, in float64) {
+				if math.Float64bits(got) != math.Float64bits(want) {
+					bad++
+					t.Errorf("%s: in=%v (%#x) got %#x want %#x",
+						name, in, math.Float64bits(in), math.Float64bits(got), math.Float64bits(want))
+				}
+			}
+			chk("ig", ig[j], wi, pre[j])
+			chk("fg", fg[j], wf, pre[4+j])
+			chk("gg", gg[j], wg, pre[8+j])
+			chk("og", og[j], wo, pre[12+j])
+			chk("c", c[j], wc, cp[j])
+			chk("tc", tc[j], wtc, wc)
+		}
+	}
+}
+
+// TestLSTMGates4SafeDomainBail pins the kernel's early-exit protocol:
+// a sigmoid input outside exp's replicated safe domain (|x| > 700, or
+// NaN) must stop the packed loop at a four-element boundary before the
+// offending block, leaving the rest for the scalar caller — never a
+// partially-written block.
+func TestLSTMGates4SafeDomainBail(t *testing.T) {
+	if !useAsm {
+		t.Skip("no assembly kernels on this platform")
+	}
+	H := 8
+	mk := func() ([]float64, []float64) {
+		pre := make([]float64, 4*H)
+		cp := make([]float64, H)
+		for i := range pre {
+			pre[i] = float64(i%7) - 3
+		}
+		return pre, cp
+	}
+	for _, bad := range []float64{701, -701, math.Inf(1), math.NaN()} {
+		for _, gate := range []int{0, 1, 3} { // sigmoid gates: i, f, o
+			pre, cp := mk()
+			ig, fg, gg, og := make([]float64, H), make([]float64, H), make([]float64, H), make([]float64, H)
+			c, tc := make([]float64, H), make([]float64, H)
+			pre[gate*H+5] = bad // second block of four
+			n := lstmGates4(&ig[0], &fg[0], &gg[0], &og[0], &c[0], &tc[0], &pre[0], &cp[0], H)
+			if n != 4 {
+				t.Fatalf("bad=%v gate=%d: completed %d elements, want 4", bad, gate, n)
+			}
+		}
+	}
+	// The g gate goes through tanh, which needs no domain guard: its
+	// exp argument is bounded by the z >= 0.625 branch selection.
+	pre, cp := mk()
+	ig, fg, gg, og := make([]float64, H), make([]float64, H), make([]float64, H), make([]float64, H)
+	c, tc := make([]float64, H), make([]float64, H)
+	pre[2*H+5] = 1e300
+	if n := lstmGates4(&ig[0], &fg[0], &gg[0], &og[0], &c[0], &tc[0], &pre[0], &cp[0], H); n != H {
+		t.Fatalf("tanh input must not bail: completed %d, want %d", n, H)
+	}
+	if math.Float64bits(gg[5]) != math.Float64bits(math.Tanh(1e300)) {
+		t.Fatalf("tanh(1e300): got %v", gg[5])
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync/atomic"
 
+	"repro/internal/f64"
 	"repro/internal/geom"
 	"repro/internal/kmeans"
 	"repro/internal/parallel"
@@ -400,7 +401,8 @@ type trainer struct {
 	sParams [][]*Param
 	losses  []float64
 	maxT    int
-	embScr  []*stepScratch // per-worker scratch for embedding sweeps
+	tiles   []*laneTile  // lockstep lane groups over the batch slots
+	embScr  []*embedTile // per-worker lockstep scratch for embedding sweeps
 }
 
 func newTrainer(m *Autoencoder, batch, maxT int) *trainer {
@@ -419,6 +421,17 @@ func newTrainer(m *Autoencoder, batch, maxT int) *trainer {
 		tr.scr = append(tr.scr, sh.newScratch(maxT))
 		tr.sParams = append(tr.sParams, sh.Params())
 	}
+	// Partition the batch slots into contiguous lockstep tiles. The
+	// partition only affects scheduling and weight-stream reuse, never
+	// bits: slot b's gradient lands in slot b's buffers regardless.
+	w := tileWidth(batch)
+	for lo := 0; lo < batch; lo += w {
+		hi := lo + w
+		if hi > batch {
+			hi = batch
+		}
+		tr.tiles = append(tr.tiles, &laneTile{tr: tr, lo: lo, hi: hi})
+	}
 	return tr
 }
 
@@ -436,12 +449,19 @@ func (tr *trainer) step(seqs []Sequence, idx []int, centroids [][]float64, assig
 	if len(idx) == 1 {
 		return tr.master.stepIn(tr.scr[0], seqs[idx[0]], centroidOf(idx[0]), lambda)
 	}
-	// Per-sequence gradients fan out over the worker pool; each batch
-	// slot owns its shadow model and scratch.
-	parallel.Map(idx, func(b, i int) (struct{}, error) {
-		tr.losses[b] = tr.slots[b].stepIn(tr.scr[b], seqs[i], centroidOf(i), lambda)
-		return struct{}{}, nil
-	})
+	// Lockstep lane tiles replace the per-sequence fan-out: each tile
+	// advances its slots through the network together, streaming every
+	// weight row once across its lanes (lockstep.go). Tiles run
+	// concurrently when there is more than one; each batch slot still
+	// owns its shadow model and scratch.
+	if len(tr.tiles) == 1 {
+		tr.tiles[0].run(seqs, idx, centroids, assign, lambda)
+	} else {
+		parallel.Map(tr.tiles, func(_ int, ti *laneTile) (struct{}, error) {
+			ti.run(seqs, idx, centroids, assign, lambda)
+			return struct{}{}, nil
+		})
+	}
 	// Ordered reduction: slot 0's gradient first, then slot 1's, ...
 	// — a fixed float summation order regardless of which workers
 	// computed which slots — then scale to the batch mean. The zero
@@ -451,19 +471,9 @@ func (tr *trainer) step(seqs []Sequence, idx []int, centroids [][]float64, assig
 	for pi, p := range tr.mParams {
 		pg := p.Grad
 		for b := range tr.slots {
-			sg := tr.sParams[b][pi].Grad
-			for j, g := range sg {
-				if g != 0 {
-					pg[j] += g
-					sg[j] = 0
-				}
-			}
+			f64.ReduceSkip(pg, tr.sParams[b][pi].Grad)
 		}
-		for j, g := range pg {
-			if g != 0 {
-				pg[j] = g * inv
-			}
-		}
+		f64.ScaleSkip(pg, inv)
 	}
 	var sum float64
 	for _, l := range tr.losses {
@@ -472,26 +482,37 @@ func (tr *trainer) step(seqs []Sequence, idx []int, centroids [][]float64, assig
 	return sum * inv
 }
 
-// embedAll computes the embedding of every sequence concurrently with
-// per-worker scratch. Each output slot is written independently, so the
-// result is bit-identical at any worker count.
+// embedAll computes the embedding of every sequence through lockstep
+// lane tiles: each worker advances laneWidth sequences through the
+// encoder together, streaming every weight row once per tile instead
+// of once per sequence. Each output slot is written independently, so
+// the result is bit-identical at any worker or lane count.
 func (tr *trainer) embedAll(seqs []Sequence) [][]float64 {
-	workers := parallel.Jobs()
-	if workers > len(seqs) {
-		workers = len(seqs)
-	}
-	for len(tr.embScr) < workers {
-		tr.embScr = append(tr.embScr, tr.master.newScratch(tr.maxT))
-	}
 	out := make([][]float64, len(seqs))
 	dim := tr.master.cfg.Hidden
 	buf := make([]float64, len(seqs)*dim)
-	parallel.MapNWorker(workers, seqs, func(w, i int, s Sequence) (struct{}, error) {
-		e := buf[i*dim : (i+1)*dim]
-		if len(s.Deltas) > 0 {
-			copy(e, tr.master.encodeIn(tr.embScr[w], s))
+	for i := range out {
+		out[i] = buf[i*dim : (i+1)*dim]
+	}
+	nTiles := (len(seqs) + laneWidth - 1) / laneWidth
+	workers := hwWorkers()
+	if workers > nTiles {
+		workers = nTiles
+	}
+	for len(tr.embScr) < workers {
+		tr.embScr = append(tr.embScr, newEmbedTile(tr.master, tr.maxT))
+	}
+	tiles := make([]int, nTiles)
+	for i := range tiles {
+		tiles[i] = i
+	}
+	parallel.MapNWorker(workers, tiles, func(w, _, ti int) (struct{}, error) {
+		lo := ti * laneWidth
+		hi := lo + laneWidth
+		if hi > len(seqs) {
+			hi = len(seqs)
 		}
-		out[i] = e
+		tr.embScr[w].run(tr.master, seqs, lo, hi, out)
 		return struct{}{}, nil
 	})
 	return out

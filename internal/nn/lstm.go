@@ -2,8 +2,9 @@ package nn
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
+
+	"repro/internal/f64"
 )
 
 // LSTM is a single-layer LSTM processing sequences step by step with
@@ -48,6 +49,7 @@ type lstmStep struct {
 	cPrev      []float64
 	i, f, g, o []float64 // post-nonlinearity gate values
 	c, h       []float64
+	tc         []float64 // tanh(c), cached so backward reuses the forward's bits
 }
 
 // Stack chains several LSTM layers (the "×2" in Table 2's network
@@ -186,10 +188,10 @@ func (st *LSTMState) grow(maxT int) {
 	st.steps = make([]lstmStep, maxT)
 	st.outs = make([][]float64, maxT)
 	st.dxs = make([][]float64, maxT)
-	st.gateBuf = make([]float64, maxT*6*H)
+	st.gateBuf = make([]float64, maxT*7*H)
 	st.dxBuf = make([]float64, maxT*in)
 	for t := 0; t < maxT; t++ {
-		buf := st.gateBuf[t*6*H : (t+1)*6*H]
+		buf := st.gateBuf[t*7*H : (t+1)*7*H]
 		s := &st.steps[t]
 		s.i = buf[0*H : 1*H]
 		s.f = buf[1*H : 2*H]
@@ -197,6 +199,7 @@ func (st *LSTMState) grow(maxT int) {
 		s.o = buf[3*H : 4*H]
 		s.c = buf[4*H : 5*H]
 		s.h = buf[5*H : 6*H]
+		s.tc = buf[6*H : 7*H]
 		st.dxs[t] = st.dxBuf[t*in : (t+1)*in]
 	}
 }
@@ -234,12 +237,11 @@ func (l *LSTM) ForwardIn(st *LSTMState, xs [][]float64) [][]float64 {
 			copy(pre, l.B.W)
 			for i, xi := range x {
 				if xi == 0 {
+					// Load-bearing row skip: adding a zero row could
+					// flip a -0 accumulator to +0.
 					continue
 				}
-				row := l.Wx.W[i*4*H : (i+1)*4*H]
-				for j, w := range row {
-					pre[j] += xi * w
-				}
+				f64.Axpy(pre, l.Wx.W[i*4*H:(i+1)*4*H], xi)
 			}
 			copy(xw, pre)
 		}
@@ -247,19 +249,9 @@ func (l *LSTM) ForwardIn(st *LSTMState, xs [][]float64) [][]float64 {
 			if hi == 0 {
 				continue
 			}
-			row := l.Wh.W[i*4*H : (i+1)*4*H]
-			for j, w := range row {
-				pre[j] += hi * w
-			}
+			f64.Axpy(pre, l.Wh.W[i*4*H:(i+1)*4*H], hi)
 		}
-		for j := 0; j < H; j++ {
-			s.i[j] = sigmoid(pre[j])
-			s.f[j] = sigmoid(pre[H+j])
-			s.g[j] = math.Tanh(pre[2*H+j])
-			s.o[j] = sigmoid(pre[3*H+j])
-			s.c[j] = s.f[j]*c[j] + s.i[j]*s.g[j]
-			s.h[j] = s.o[j] * math.Tanh(s.c[j])
-		}
+		f64.LSTMGates(s.i, s.f, s.g, s.o, s.c, s.h, s.tc, pre, c)
 		h, c = s.h, s.c
 		st.outs[t] = s.h
 	}
@@ -287,64 +279,27 @@ func (st *LSTMState) Backward(dH [][]float64) [][]float64 {
 		s := &st.steps[t]
 		copy(dh, dhNext)
 		if t < len(dH) && dH[t] != nil {
-			for j, g := range dH[t] {
-				dh[j] += g
-			}
+			f64.Add(dh, dH[t])
 		}
-		for j := 0; j < H; j++ {
-			tc := math.Tanh(s.c[j])
-			do := dh[j] * tc
-			dc[j] = dcNext[j] + dh[j]*s.o[j]*(1-tc*tc)
-			di := dc[j] * s.g[j]
-			df := dc[j] * s.cPrev[j]
-			dg := dc[j] * s.i[j]
-			dPre[j] = di * s.i[j] * (1 - s.i[j])
-			dPre[H+j] = df * s.f[j] * (1 - s.f[j])
-			dPre[2*H+j] = dg * (1 - s.g[j]*s.g[j])
-			dPre[3*H+j] = do * s.o[j] * (1 - s.o[j])
-		}
+		f64.LSTMGateBackward(dPre, dc, dh, dcNext, s.i, s.f, s.g, s.o, s.tc, s.cPrev)
 		// Accumulate parameter grads and propagate to x, hPrev. The
 		// loops nest row-major (weight rows are contiguous in memory);
 		// each Grad element still receives exactly one contribution per
 		// step and each dx/dhPrev element still sums in ascending-j
 		// order, so results are bit-identical to the j-outer form. The
-		// g == 0 skip is load-bearing for that identity: adding a zero
-		// could flip a -0 accumulator to +0.
+		// g == 0 skip inside the kernels is load-bearing for that
+		// identity: adding a zero could flip a -0 accumulator to +0.
 		dx := dxs[t]
-		for j, g := range dPre {
-			if g != 0 {
-				l.B.Grad[j] += g
-			}
-		}
+		f64.AddSkip(l.B.Grad, dPre)
 		for i, xi := range s.x {
-			row, grad := l.Wx.W[i*4*H:(i+1)*4*H], l.Wx.Grad[i*4*H:(i+1)*4*H]
-			acc := 0.0
-			for j, g := range dPre {
-				if g == 0 {
-					continue
-				}
-				grad[j] += xi * g
-				acc += row[j] * g
-			}
-			dx[i] = acc
+			dx[i] = f64.GradDot(l.Wx.Grad[i*4*H:(i+1)*4*H], l.Wx.W[i*4*H:(i+1)*4*H], dPre, xi)
 		}
 		// dhNext is consumed (copied into dh) before this point, so the
 		// next step's dhPrev can be written over it in place.
 		for i, hi := range s.hPrev {
-			row, grad := l.Wh.W[i*4*H:(i+1)*4*H], l.Wh.Grad[i*4*H:(i+1)*4*H]
-			acc := 0.0
-			for j, g := range dPre {
-				if g == 0 {
-					continue
-				}
-				grad[j] += hi * g
-				acc += row[j] * g
-			}
-			dhNext[i] = acc
+			dhNext[i] = f64.GradDot(l.Wh.Grad[i*4*H:(i+1)*4*H], l.Wh.W[i*4*H:(i+1)*4*H], dPre, hi)
 		}
-		for j := 0; j < H; j++ {
-			dcNext[j] = dc[j] * s.f[j]
-		}
+		f64.Mul(dcNext, dc, s.f)
 	}
 	return dxs
 }

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/f64"
 )
 
 // Param is one learnable tensor with its gradient and Adam state.
@@ -85,37 +87,32 @@ func NewAdam(params []*Param, lr float64) *Adam {
 	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params, maxNorm: 5}
 }
 
-// Step applies one update from the accumulated gradients and clears them.
+// Step applies one update from the accumulated gradients and clears
+// them. The update is a single fused pass per tensor (f64.AdamStep):
+// the clip scale is folded into the moment update instead of being
+// written back to Grad first, which stores the identical g*scale
+// product the two-pass form re-read — same bits, one pass, zero
+// allocation. The norm itself keeps one serial accumulation chain
+// threaded across tensors in parameter order, exactly as before.
+//
+//sdam:noalloc
 func (a *Adam) Step() {
 	a.t++
+	scale := 1.0
 	if a.maxNorm > 0 {
 		var norm float64
 		for _, p := range a.params {
-			for _, g := range p.Grad {
-				norm += g * g
-			}
+			norm = f64.SumSquaresAcc(norm, p.Grad)
 		}
 		norm = math.Sqrt(norm)
 		if norm > a.maxNorm {
-			scale := a.maxNorm / norm
-			for _, p := range a.params {
-				for i := range p.Grad {
-					p.Grad[i] *= scale
-				}
-			}
+			scale = a.maxNorm / norm
 		}
 	}
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
 	for _, p := range a.params {
-		for i, g := range p.Grad {
-			p.m[i] = a.Beta1*p.m[i] + (1-a.Beta1)*g
-			p.v[i] = a.Beta2*p.v[i] + (1-a.Beta2)*g*g
-			mHat := p.m[i] / bc1
-			vHat := p.v[i] / bc2
-			p.W[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
-		}
-		p.ZeroGrad()
+		f64.AdamStep(p.W, p.Grad, p.m, p.v, scale, a.Beta1, a.Beta2, a.LR, a.Eps, bc1, bc2)
 	}
 }
 
@@ -150,14 +147,16 @@ func (l *Linear) Forward(x []float64) []float64 {
 }
 
 // ForwardIn computes y = xW + b into the caller's buffer (len = Cols),
-// the allocation-free form the reused training scratch runs.
+// the allocation-free form the reused training scratch runs. The loop
+// nests row-major over contiguous weight rows (f64.Axpy); each out[j]
+// still starts at B[j] and adds xi*W[i][j] in ascending-i order, so the
+// result is bit-identical to the j-outer scalar form. No zero skip:
+// the scalar loop never had one here.
 func (l *Linear) ForwardIn(out, x []float64) {
-	for j := 0; j < l.W.Cols; j++ {
-		s := l.B.W[j]
-		for i, xi := range x {
-			s += xi * l.W.At(i, j)
-		}
-		out[j] = s
+	cols := l.W.Cols
+	copy(out, l.B.W)
+	for i, xi := range x {
+		f64.Axpy(out, l.W.W[i*cols:(i+1)*cols], xi)
 	}
 }
 
@@ -177,21 +176,21 @@ func (l *Linear) BackwardIn(dx, x, dy []float64) {
 	for i := range dx {
 		dx[i] = 0
 	}
+	// Row-major over contiguous weight rows. Each Grad element receives
+	// exactly one contribution per call and each dx[i] sums row[j]*dy[j]
+	// in ascending-j order — the same chain the j-outer scalar form
+	// accumulated — so results are bit-identical. Unconditional: the
+	// scalar loop had no zero skip here, and adding one would flip bits.
+	cols := l.W.Cols
+	f64.Add(l.B.Grad, dy)
 	if dx == nil {
-		for j, g := range dy {
-			l.B.AddGrad(0, j, g)
-			for i, xi := range x {
-				l.W.AddGrad(i, j, xi*g)
-			}
+		for i, xi := range x {
+			f64.Axpy(l.W.Grad[i*cols:(i+1)*cols], dy, xi)
 		}
 		return
 	}
-	for j, g := range dy {
-		l.B.AddGrad(0, j, g)
-		for i, xi := range x {
-			l.W.AddGrad(i, j, xi*g)
-			dx[i] += l.W.At(i, j) * g
-		}
+	for i, xi := range x {
+		dx[i] = f64.AxpyDot(l.W.Grad[i*cols:(i+1)*cols], l.W.W[i*cols:(i+1)*cols], dy, xi)
 	}
 }
 

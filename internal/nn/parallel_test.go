@@ -112,3 +112,54 @@ func TestStepScratchZeroAlloc(t *testing.T) {
 		t.Fatalf("stepIn allocates %v times per run, want 0", allocs)
 	}
 }
+
+// genRagged builds sequences whose lengths cycle 4..15, so lockstep
+// groups mix full and partial lanes: timesteps below the group minimum
+// take the dense fused kernels, the ragged tail takes the gather path.
+func genRagged(n, numVIDs int, seed int64) []Sequence {
+	r := rand.New(rand.NewSource(seed))
+	seqs := make([]Sequence, n)
+	for i := range seqs {
+		T := 4 + (i*5)%12
+		for t := 0; t < T; t++ {
+			seqs[i].Deltas = append(seqs[i].Deltas, uint32(r.Intn(1<<15)))
+			seqs[i].VIDs = append(seqs[i].VIDs, r.Intn(numVIDs))
+		}
+	}
+	return seqs
+}
+
+// TestTrainJointRaggedLanesBitIdentical sweeps batch sizes 1-8 over a
+// ragged-length training set: every lockstep lane count (full groups of
+// four plus remainders of 1-3) and every dense/gather boundary inside a
+// group gets exercised, and the whole trajectory must stay bit-identical
+// between a serial run and an 8-worker run — the same invariant the
+// fused f64 kernels are held to on the equal-length fast path.
+func TestTrainJointRaggedLanesBitIdentical(t *testing.T) {
+	seqs := genRagged(24, 8, 11)
+	train := func(jobs, batch int) (TrainReport, []*Param) {
+		prev := parallel.SetJobs(jobs)
+		defer parallel.SetJobs(prev)
+		m, err := NewAutoencoder(DefaultConfig(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := m.TrainJoint(seqs, TrainOptions{Steps: 10, K: 3, Batch: batch, Reassign: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report, m.Params()
+	}
+	for batch := 1; batch <= 8; batch++ {
+		serialReport, serialParams := train(1, batch)
+		report, params := train(8, batch)
+		if !reflect.DeepEqual(serialReport, report) {
+			t.Fatalf("batch=%d: report diverged across jobs", batch)
+		}
+		for i, p := range params {
+			if !reflect.DeepEqual(serialParams[i].W, p.W) {
+				t.Fatalf("batch=%d: param %s weights diverged", batch, p.Name)
+			}
+		}
+	}
+}
