@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: lint lint-json build test race bench
+.PHONY: lint lint-json docs build test race bench
 
 # lint is the one gate for static checks: go vet plus the repository's
-# own determinism & concurrency suite (cmd/sdamvet, 8 rules — see
+# own determinism & concurrency suite (cmd/sdamvet, 9 rules — see
 # `go run ./cmd/sdamvet -list`).
 lint:
 	$(GO) vet ./...
@@ -16,6 +16,13 @@ lint:
 # uploads the resulting findings file as an artifact even on failure.
 lint-json:
 	$(GO) run ./cmd/sdamvet -json ./... > sdamvet-findings.json
+
+# docs checks the documentation against the code: every relative
+# markdown link resolves, every annotated flag table matches the flags
+# its command actually registers, and DESIGN.md's section numbering is
+# monotonic (see cmd/sdamdocs).
+docs:
+	$(GO) run ./cmd/sdamdocs
 
 build:
 	$(GO) build ./...

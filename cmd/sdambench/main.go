@@ -26,6 +26,10 @@
 // -baseline-select-tol (default 2), and only when both runs used the
 // same kernel acceleration (the report records it as select_accel).
 // -cpuprofile and -memprofile write pprof profiles covering the sweep.
+// -metrics writes a schema-versioned JSON snapshot of the simulator's
+// observability counters after the sweep (alongside, not inside, the
+// -json bench report); -trace writes the sweep's phase spans as Chrome
+// trace_event JSON for Perfetto. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -103,6 +107,8 @@ func main() {
 	selectTol := flag.Float64("baseline-select-tol", 2.0, "select_ms regression factor tolerated by -baseline in DL cells before failing")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot of the sweep to this file (\"-\" for stdout)")
+	tracePath := flag.String("trace", "", "write the sweep's phase spans as Chrome trace_event JSON to this file (opens in Perfetto)")
 	flag.Parse()
 	if flag.NArg() != 1 && *bench == "" {
 		fmt.Fprintln(os.Stderr, "usage: sdambench [flags] <benchmark>|standard|data")
@@ -110,6 +116,33 @@ func main() {
 		os.Exit(2)
 	}
 	sdam.SetJobs(*jobs)
+	if *metricsPath != "" {
+		sdam.EnableMetrics()
+	}
+	if *tracePath != "" {
+		sdam.EnableTracing()
+	}
+	// writeObservability runs after the measured work on every path
+	// (including a failing baseline gate — the telemetry helps diagnose
+	// the regression).
+	writeObservability := func() {
+		if *metricsPath != "" {
+			if err := writeTo(*metricsPath, func(f *os.File) error {
+				return sdam.Metrics().WriteJSON(f)
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *tracePath != "" {
+			if err := writeTo(*tracePath, func(f *os.File) error {
+				return sdam.WriteTrace(f)
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -182,6 +215,7 @@ func main() {
 		}
 		runTimed(&rep, names, base, kinds, *refs)
 		stopProfiles()
+		writeObservability()
 		out, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sdambench: %v\n", err)
@@ -220,6 +254,23 @@ func main() {
 		printRow(name, results)
 	}
 	stopProfiles()
+	writeObservability()
+}
+
+// writeTo streams write's output to path, or stdout for "-".
+func writeTo(path string, write func(*os.File) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printHeader(kinds []sdam.Kind) {

@@ -9,6 +9,11 @@
 //
 // Each run prints the regenerated rows/series plus the paper's shape
 // claims evaluated against this run (PASS/FAIL).
+//
+// -metrics writes a schema-versioned JSON snapshot of the simulator's
+// observability counters after the run ("-" for stdout); -trace writes
+// the run's phase spans as Chrome trace_event JSON, which Perfetto
+// (https://ui.perfetto.dev) opens directly. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -36,6 +41,8 @@ func main() {
 	quick := flag.Bool("quick", false, "run at reduced fidelity (faster)")
 	csvDir := flag.String("csv", "", "also write each report's table as <dir>/<id>.csv")
 	jobs := flag.Int("jobs", 0, "max concurrent simulation cells (0 = GOMAXPROCS)")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics snapshot of the run to this file (\"-\" for stdout)")
+	tracePath := flag.String("trace", "", "write the run's phase spans as Chrome trace_event JSON to this file (opens in Perfetto)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -43,6 +50,24 @@ func main() {
 		os.Exit(2)
 	}
 	sdam.SetJobs(*jobs)
+	if *metricsPath != "" {
+		sdam.EnableMetrics()
+	}
+	if *tracePath != "" {
+		sdam.EnableTracing()
+	}
+	// The snapshot and trace must be written on every exit path,
+	// including failure — a failing run is exactly when the telemetry is
+	// most useful.
+	exit := func(code int) {
+		if err := writeObservability(*metricsPath, *tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "sdamsim: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
 
 	switch arg := flag.Arg(0); arg {
 	case "list":
@@ -70,23 +95,60 @@ func main() {
 		}
 		if failed > 0 {
 			fmt.Fprintf(os.Stderr, "sdamsim: %d failures\n", failed)
-			os.Exit(1)
+			exit(1)
 		}
 	default:
 		rep, err := sdam.RunExperiment(arg, *quick)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sdamsim: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Println(rep.String())
 		if err := writeCSV(*csvDir, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "sdamsim: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		if len(rep.Failed()) > 0 {
-			os.Exit(1)
+			exit(1)
 		}
 	}
+	exit(0)
+}
+
+// writeObservability writes the metrics snapshot and/or phase trace the
+// flags asked for. Empty paths are skipped; "-" means stdout.
+func writeObservability(metricsPath, tracePath string) error {
+	if metricsPath != "" {
+		if err := writeTo(metricsPath, func(f *os.File) error {
+			return sdam.Metrics().WriteJSON(f)
+		}); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		if err := writeTo(tracePath, func(f *os.File) error {
+			return sdam.WriteTrace(f)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTo streams write's output to path, or stdout for "-".
+func writeTo(path string, write func(*os.File) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeCSV stores the report's table under dir when dir is set.

@@ -60,6 +60,7 @@ func NewAnalyzers() []Analyzer {
 		newNoAlloc(),
 		newPoolPair(),
 		newTapeMut(),
+		newPkgDoc(),
 	}
 }
 

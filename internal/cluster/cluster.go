@@ -28,6 +28,7 @@ import (
 	"repro/internal/kmeans"
 	"repro/internal/mapping"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/trace"
@@ -343,6 +344,7 @@ func SelectDL(p profile.Profile, deltas []trace.DeltaSample, k int, g geom.Geome
 			numVIDs = d.VID + 1
 		}
 	}
+	spWindow := obs.StartSpan("dl:window")
 	var seqs []nn.Sequence
 	var windowVID []int
 	for base := 0; base+opts.SeqLen <= len(deltas) && len(seqs) < opts.MaxWindows; base += opts.SeqLen {
@@ -372,13 +374,16 @@ func SelectDL(p profile.Profile, deltas []trace.DeltaSample, k int, g geom.Geome
 		seqs = append(seqs, s)
 		windowVID = append(windowVID, modal)
 	}
+	spWindow.End()
 
+	spTrain := obs.StartSpan("dl:train")
 	model, err := nn.NewAutoencoder(nn.DefaultConfig(numVIDs))
 	if err != nil {
 		return Selection{}, err
 	}
 	optSteps := (opts.Steps + opts.Batch - 1) / opts.Batch
 	report, err := model.TrainJoint(seqs, nn.TrainOptions{Steps: optSteps, K: k, Seed: opts.Seed, Batch: opts.Batch})
+	spTrain.End()
 	if err != nil {
 		return Selection{}, err
 	}
@@ -387,6 +392,7 @@ func SelectDL(p profile.Profile, deltas []trace.DeltaSample, k int, g geom.Geome
 	// training report already carries every window's post-training
 	// embedding (the vectors its final clustering ran on), so no extra
 	// inference sweep is needed.
+	spEmbed := obs.StartSpan("dl:embed")
 	dim := model.EmbeddingDim()
 	varEmb := make(map[int][]float64)
 	varWin := make(map[int]int)
@@ -420,7 +426,10 @@ func SelectDL(p profile.Profile, deltas []trace.DeltaSample, k int, g geom.Geome
 		}
 		pts[i] = p
 	}
+	spEmbed.End()
+	spCluster := obs.StartSpan("dl:kmeans")
 	res, err := kmeans.Cluster(pts, k, kmeans.Options{Seed: opts.Seed})
+	spCluster.End()
 	if err != nil {
 		return Selection{}, err
 	}

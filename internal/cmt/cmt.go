@@ -169,6 +169,14 @@ func (t *Table) Lookup(chunk int) (amu.Config, error) {
 // atomic too.
 func (t *Table) ReadCount() uint64 { return atomic.LoadUint64(&t.Reads) }
 
+// WriteCount returns the number of OS-side updates so far. Writes is
+// only mutated under the write lock, so reading it takes the read lock.
+func (t *Table) WriteCount() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.Writes
+}
+
 // MappingIndex returns the level-1 entry for a chunk.
 func (t *Table) MappingIndex(chunk int) (int, error) {
 	if chunk < 0 || chunk >= len(t.chunkToIdx) {

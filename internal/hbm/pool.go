@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Sweep cells are short-lived: system.Run boots a fresh machine per
@@ -22,9 +23,21 @@ type poolKey struct {
 
 var devicePools sync.Map // poolKey → *sync.Pool
 
+// The pool-balance counters back the "every Acquire has a Release"
+// invariant test: after a sweep quiesces, acquires must equal releases
+// (the PR 6 pooled-device leak would have shown up here as a drift).
+var (
+	statPoolAcquires = obs.NewCounter("hbm.pool_acquires", "devices", "devices handed out by the pool")
+	statPoolReleases = obs.NewCounter("hbm.pool_releases", "devices", "devices returned to the pool")
+	// Host-marked: sync.Pool retention spans runs and is cleared by GC,
+	// so the fresh-construction count is process state, not workload.
+	statPoolNews = obs.NewCounter("hbm.pool_news", "devices", "acquires that constructed a fresh device").Host()
+)
+
 // Acquire returns a reset device of the given shape, reusing a released
 // one when available.
 func Acquire(g geom.Geometry, t Timing) *Device {
+	statPoolAcquires.Add(1)
 	p, ok := devicePools.Load(poolKey{g, t})
 	if !ok {
 		p, _ = devicePools.LoadOrStore(poolKey{g, t}, &sync.Pool{})
@@ -33,6 +46,7 @@ func Acquire(g geom.Geometry, t Timing) *Device {
 		d.Reset()
 		return d
 	}
+	statPoolNews.Add(1)
 	return New(g, t)
 }
 
@@ -42,6 +56,7 @@ func Release(d *Device) {
 	if d == nil {
 		return
 	}
+	statPoolReleases.Add(1)
 	p, _ := devicePools.LoadOrStore(poolKey{d.geom, d.timing}, &sync.Pool{})
 	p.(*sync.Pool).Put(d)
 }

@@ -42,6 +42,11 @@ type Controller struct {
 	chunkCfg  []*amu.Compiled
 	cachedGen uint64
 
+	// compiles counts per-chunk cache fills — the cold path of resolve.
+	// A plain field (the controller is single-owner); system's metrics
+	// flush reads it through Compiles after the run.
+	compiles uint64
+
 	// cmtPenalty is the extra lookup latency added per access in SDAM
 	// mode. The paper's CMT is a 6 ns SRAM read that proceeds in
 	// parallel with the controller front end (80 ns in the device
@@ -119,11 +124,16 @@ func (c *Controller) resolve(chunk int) (*amu.Compiled, error) {
 		return nil, err
 	}
 	cc := c.amu.Compiled(cfg)
+	c.compiles++
 	if chunk >= 0 && chunk < len(c.chunkCfg) {
 		c.chunkCfg[chunk] = cc
 	}
 	return cc, nil
 }
+
+// Compiles returns the number of crossbar configurations compiled on
+// CMT-cache misses (zero in global mode).
+func (c *Controller) Compiles() uint64 { return c.compiles }
 
 // MustAccess is Access for callers that have already validated the
 // address range; lookup errors indicate a harness bug and panic.

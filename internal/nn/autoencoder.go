@@ -9,6 +9,7 @@ import (
 	"repro/internal/f64"
 	"repro/internal/geom"
 	"repro/internal/kmeans"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -16,6 +17,12 @@ import (
 // process-wide. The selection cache's tests read it to prove a cached
 // selection performed zero additional training work.
 var trainSteps atomic.Uint64
+
+// obsTrainSteps mirrors trainSteps into the obs registry — the
+// "selection cache hit ⇒ zero optimizer steps" counter equality. The
+// call sites are //sdam:noalloc (stepIn, laneTile.run); obs fast paths
+// allocate nothing and the noalloc analyzer knows they are allowed.
+var obsTrainSteps = obs.NewCounter("nn.train_steps", "steps", "per-sequence forward/backward training evaluations")
 
 // TrainSteps returns the number of training-step (per-sequence
 // forward/backward) evaluations performed by this process so far.
@@ -293,6 +300,7 @@ func (m *Autoencoder) Embed(s Sequence) []float64 {
 //sdam:noalloc
 func (m *Autoencoder) stepIn(sc *stepScratch, s Sequence, centroid []float64, lambda float64) float64 {
 	trainSteps.Add(1)
+	obsTrainSteps.Add(1)
 	f := m.forwardIn(sc, s)
 	T := len(s.Deltas)
 	nBits := float64(T * m.cfg.DeltaBits)

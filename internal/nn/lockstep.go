@@ -427,6 +427,7 @@ func (ti *laneTile) run(seqs []Sequence, idx []int, centroids [][]float64, assig
 	for k := 0; k < n; k++ {
 		b := ti.lo + k
 		trainSteps.Add(1)
+		obsTrainSteps.Add(1)
 		sc := tr.scr[b]
 		ti.xss[k] = tr.slots[b].embedInputs(sc, seqs[idx[b]])
 		ti.sstates[k] = sc.enc

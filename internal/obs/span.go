@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/wallclock"
+)
+
+// Spans time phases of a run: tape build, profiling pass, mapping
+// selection, simulation, whole sweep cells. A span is a value — no
+// allocation — and the zero Span is an inert no-op, which is what
+// Registry.Span returns while both metrics and tracing are off, so the
+// disabled fast path is one atomic load per flag.
+//
+// With metrics enabled a finished span folds into a per-name aggregate
+// (count + total ns), reported by Snapshot. With tracing enabled the
+// individual event is additionally retained — bounded — for export as
+// Chrome trace_event JSON (WriteTrace), which Perfetto opens directly.
+//
+// Trace lanes: concurrent spans are assigned the smallest free lane
+// number at start, freed at end, so a sweep's overlapping cells render
+// as parallel tracks in Perfetto instead of piling onto one row. Host
+// time comes from internal/wallclock, the repo's sanctioned clock, and
+// is only ever reported — never fed back into simulated state.
+
+// maxTraceEvents bounds retained span events (~48 B each). Past the
+// bound, events are counted as dropped but aggregates stay exact.
+const maxTraceEvents = 1 << 18
+
+// Span is one open phase timer. Copying a Span is fine; End on the
+// zero Span is a no-op.
+type Span struct {
+	reg     *Registry
+	name    string
+	startNs int64
+	lane    int32
+	traced  bool
+}
+
+// SpanEvent is one finished, retained span occurrence.
+type SpanEvent struct {
+	Name    string
+	Lane    int32
+	StartNs int64 // relative to the trace clock's start
+	DurNs   int64
+}
+
+// spanAgg accumulates per-name span statistics for the snapshot.
+type spanAgg struct {
+	count   int64
+	totalNs int64
+}
+
+// traceLog is the registry's span sink.
+type traceLog struct {
+	lockMu  sync.Mutex
+	epoch   int64 // wallclock ns at EnableTracing/reset
+	agg     map[string]*spanAgg
+	events  []SpanEvent
+	lanes   []bool
+	dropped int64
+}
+
+func (t *traceLog) init() {
+	t.agg = make(map[string]*spanAgg)
+	t.epoch = wallclock.Now().UnixNano()
+}
+
+// start (re)starts the trace clock at zero.
+func (t *traceLog) start() {
+	t.lockMu.Lock()
+	defer t.lockMu.Unlock()
+	t.epoch = wallclock.Now().UnixNano()
+}
+
+func (t *traceLog) reset() {
+	t.lockMu.Lock()
+	defer t.lockMu.Unlock()
+	t.agg = make(map[string]*spanAgg)
+	t.events = nil
+	t.lanes = nil
+	t.dropped = 0
+	t.epoch = wallclock.Now().UnixNano()
+}
+
+// Span starts a phase timer named name. While neither metrics nor
+// tracing are enabled this returns the inert zero Span without touching
+// the clock. Span names should be stable identifiers; put variable
+// detail after a ":" (see Span2/Span3, which assemble such names only
+// when a span would actually record).
+func (r *Registry) Span(name string) Span {
+	if !r.SpanActive() {
+		return Span{}
+	}
+	return r.openSpan(name)
+}
+
+// Span2 starts a span named kind or "kind:detail" — the concatenation
+// happens only when the span records, so passing parts from a hot call
+// site does not allocate while disabled.
+func (r *Registry) Span2(kind, detail string) Span {
+	if !r.SpanActive() {
+		return Span{}
+	}
+	if detail != "" {
+		kind = kind + ":" + detail
+	}
+	return r.openSpan(kind)
+}
+
+// Span3 starts a span named "kind:a/b" (see Span2 for the rationale).
+func (r *Registry) Span3(kind, a, b string) Span {
+	if !r.SpanActive() {
+		return Span{}
+	}
+	return r.openSpan(kind + ":" + a + "/" + b)
+}
+
+func (r *Registry) openSpan(name string) Span {
+	s := Span{reg: r, name: name}
+	s.startNs = wallclock.Now().UnixNano() - r.tr.epoch
+	if r.tracing.Load() {
+		s.traced = true
+		s.lane = r.tr.takeLane()
+	} else {
+		s.lane = -1
+	}
+	return s
+}
+
+// End finishes the span, folding it into the per-name aggregate and —
+// when the span was opened under tracing — retaining the event.
+func (s Span) End() {
+	if s.reg == nil {
+		return
+	}
+	dur := wallclock.Now().UnixNano() - s.reg.tr.epoch - s.startNs
+	s.reg.tr.record(s, dur)
+}
+
+func (t *traceLog) takeLane() int32 {
+	t.lockMu.Lock()
+	defer t.lockMu.Unlock()
+	for i, used := range t.lanes {
+		if !used {
+			t.lanes[i] = true
+			return int32(i)
+		}
+	}
+	t.lanes = append(t.lanes, true)
+	return int32(len(t.lanes) - 1)
+}
+
+func (t *traceLog) record(s Span, durNs int64) {
+	t.lockMu.Lock()
+	defer t.lockMu.Unlock()
+	a := t.agg[s.name]
+	if a == nil {
+		a = &spanAgg{}
+		t.agg[s.name] = a
+	}
+	a.count++
+	a.totalNs += durNs
+	if s.traced {
+		if int(s.lane) < len(t.lanes) {
+			t.lanes[s.lane] = false
+		}
+		if len(t.events) < maxTraceEvents {
+			t.events = append(t.events, SpanEvent{Name: s.name, Lane: s.lane, StartNs: s.startNs, DurNs: durNs})
+		} else {
+			t.dropped++
+		}
+	}
+}
+
+// spanStats returns the sorted per-name aggregates plus the dropped
+// count.
+func (t *traceLog) spanStats() ([]SpanStat, int64) {
+	t.lockMu.Lock()
+	defer t.lockMu.Unlock()
+	out := make([]SpanStat, 0, len(t.agg))
+	for name, a := range t.agg {
+		out = append(out, SpanStat{Name: name, Count: a.count, TotalNs: a.totalNs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, t.dropped
+}
+
+// Events returns a copy of the retained span events in completion
+// order.
+func (r *Registry) Events() []SpanEvent {
+	r.tr.lockMu.Lock()
+	defer r.tr.lockMu.Unlock()
+	return append([]SpanEvent(nil), r.tr.events...)
+}
+
+// Span starts a phase timer on the Default registry.
+func StartSpan(name string) Span { return Default.Span(name) }
+
+// Span2 starts a "kind:detail" span on the Default registry.
+func Span2(kind, detail string) Span { return Default.Span2(kind, detail) }
+
+// Span3 starts a "kind:a/b" span on the Default registry.
+func Span3(kind, a, b string) Span { return Default.Span3(kind, a, b) }
+
+// floatBits / bitsFloat are math.Float64bits round-trips used by the
+// histogram's CAS-accumulated sum.
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

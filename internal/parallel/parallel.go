@@ -17,6 +17,20 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/wallclock"
+)
+
+// Per-worker utilization counters. The timing wrapper is installed only
+// while metrics are enabled, so a disabled run never consults the host
+// clock; items land in the executing worker's shard (AddWorker) so
+// concurrent workers do not share a cache line.
+var (
+	statItems  = obs.NewCounter("parallel.items", "items", "work items executed by the pool")
+	statBusyNs = obs.NewCounter("parallel.busy_ns", "ns", "host time workers spent inside work items")
+	// Host-marked: width is the -jobs setting, not simulated work.
+	statWidth = obs.NewGauge("parallel.width", "workers", "high-water concurrent worker count").Host()
 )
 
 // jobs holds the process-wide worker budget; zero means GOMAXPROCS.
@@ -72,6 +86,17 @@ func MapNWorker[T, R any](jobs int, items []T, fn func(worker, i int, item T) (R
 	errs := make([]error, len(items))
 	if jobs > len(items) {
 		jobs = len(items)
+	}
+	if obs.Enabled() {
+		inner := fn
+		fn = func(w, i int, item T) (R, error) {
+			start := wallclock.Now()
+			r, err := inner(w, i, item)
+			statBusyNs.AddWorker(w, wallclock.Since(start).Nanoseconds())
+			statItems.AddWorker(w, 1)
+			return r, err
+		}
+		statWidth.SetMax(int64(jobs))
 	}
 	if jobs <= 1 {
 		for i, it := range items {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/heap"
 	"repro/internal/mapping"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/tape"
 	"repro/internal/wallclock"
@@ -105,13 +106,17 @@ func CoRun(ws []workload.Workload, opts Options) (Result, error) {
 	}
 
 	eng := cpu.New(o.Engine, m.ctrl, nil)
+	sim := obs.Span3("corun", res.Workload, o.Kind.String())
 	run, err := eng.RunProcs(procs)
+	sim.End()
 	if err != nil {
 		return res, fmt.Errorf("system: co-run evaluation: %w", err)
 	}
 	res.Run = run
 	res.HBM = m.dev.Stats()
 	res.MappingsInstalled = m.kernel.Table.LiveMappings()
+	statCoRuns.Add(1)
+	flushRunMetrics(&res, m)
 	if err := m.dev.CheckConservation(); err != nil {
 		return res, err
 	}

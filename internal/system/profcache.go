@@ -67,8 +67,15 @@ func cachedProfile(w workload.Workload, o Options) (profile.Profile, *trace.Coll
 	}
 	e, _ := profCache.LoadOrStore(key, &profEntry{})
 	entry := e.(*profEntry)
+	computed := false
 	entry.once.Do(func() {
+		computed = true
 		entry.prof, entry.col, entry.err = profileFresh(w, o)
 	})
+	if computed {
+		statProfMiss.Add(1)
+	} else {
+		statProfHits.Add(1)
+	}
 	return entry.prof, entry.col, entry.err
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/trace"
 )
@@ -68,7 +69,10 @@ func cachedSelection(o Options, prof profile.Profile, deltas []trace.DeltaSample
 	}
 	e, _ := selCache.LoadOrStore(key, &selEntry{})
 	entry := e.(*selEntry)
+	computed := false
 	entry.once.Do(func() {
+		computed = true
+		defer obs.Span2("select", o.Kind.String()).End()
 		var s cluster.Selection
 		var err error
 		switch o.Kind {
@@ -83,5 +87,13 @@ func cachedSelection(o Options, prof profile.Profile, deltas []trace.DeltaSample
 		}
 		entry.sel, entry.err = &s, err
 	})
+	// A caller whose once.Do ran the computation is the miss; everyone
+	// else — including waiters that blocked on that first computation —
+	// was served by the cache.
+	if computed {
+		statSelMiss.Add(1)
+	} else {
+		statSelHits.Add(1)
+	}
 	return entry.sel, entry.err
 }

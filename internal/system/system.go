@@ -29,6 +29,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/mapping"
 	"repro/internal/memctrl"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/tape"
@@ -202,6 +203,8 @@ func Profile(w workload.Workload, opts Options) (profile.Profile, *trace.Collect
 
 // profileFresh is the uncached profiling pass.
 func profileFresh(w workload.Workload, o Options) (profile.Profile, *trace.Collector, error) {
+	defer obs.Span2("profile", w.Name()).End()
+	statProfPass.Add(1)
 	m := bootGlobal(o, mapping.Identity{})
 	defer releaseMachine(m)
 	col := trace.NewCollector(0)
@@ -267,13 +270,17 @@ func Run(w workload.Workload, opts Options) (Result, error) {
 		policy = func(site string) int { return siteID[site] }
 	}
 
+	sim := obs.Span3("sim", w.Name(), o.Kind.String())
 	run, err := runOn(m, w, o, o.EvalSeed, policy, nil)
+	sim.End()
 	if err != nil {
 		return res, fmt.Errorf("system: evaluation pass: %w", err)
 	}
 	res.Run = run
 	res.HBM = m.dev.Stats()
 	res.MappingsInstalled = m.kernel.Table.LiveMappings()
+	statRuns.Add(1)
+	flushRunMetrics(&res, m)
 
 	// Integrity checks: the run must leave every layer consistent.
 	if err := m.dev.CheckConservation(); err != nil {
@@ -345,6 +352,7 @@ func Compare(w workload.Workload, base Options, kinds []Kind) ([]Result, error) 
 	}
 	name := w.Name() // hoisted: the thunks must not touch the shared workload
 	return parallel.MapN(jobs, kinds, func(_ int, k Kind) (Result, error) {
+		defer obs.Span3("cell", name, k.String()).End()
 		o := base
 		o.Kind = k
 		wk := workload.Clone(w)

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cpu"
+	"repro/internal/obs"
 	"repro/internal/wallclock"
 	"repro/internal/workload"
 )
@@ -46,6 +47,17 @@ var (
 	statHits    atomic.Int64
 	statLive    atomic.Int64
 	statBuildNs atomic.Int64
+)
+
+// The obs mirrors of the cache counters. All increments below are
+// per-cell or per-build (cold), so mirroring them inline costs one
+// no-op call while metrics are off.
+var (
+	obsBuilds  = obs.NewCounter("tape.builds", "tapes", "reference tapes recorded")
+	obsHits    = obs.NewCounter("tape.hits", "cells", "cells served a shared tape they did not build")
+	obsLive    = obs.NewCounter("tape.live", "cells", "cells that generated streams live, bypassing the cache")
+	obsBuildNs = obs.NewCounter("tape.build_ns", "ns", "host time spent recording tapes")
+	obsBytes   = obs.NewGauge("tape.bytes", "bytes", "high-water retained tape column footprint")
 )
 
 // Stats is a snapshot of the cache counters.
@@ -96,6 +108,7 @@ func StreamsFor(w workload.Workload, seed int64, lay *Layout) []cpu.Stream {
 	k, ok := w.(workload.TapeKeyer)
 	if !ok {
 		statLive.Add(1)
+		obsLive.Add(1)
 		return w.Streams(seed)
 	}
 	t := tapeFor(cacheKey{key: k.TapeKey(), seed: seed}, w, seed, lay)
@@ -105,6 +118,7 @@ func StreamsFor(w workload.Workload, seed int64, lay *Layout) []cpu.Stream {
 		}
 	}
 	statLive.Add(1)
+	obsLive.Add(1)
 	return w.Streams(seed)
 }
 
@@ -121,6 +135,7 @@ func tapeFor(key cacheKey, w workload.Workload, seed int64, lay *Layout) *Tape {
 				return nil
 			}
 			statHits.Add(1)
+			obsHits.Add(1)
 			return entry.tape
 		}
 		if cacheBytes.Load() >= maxCacheBytes {
@@ -140,11 +155,16 @@ func tapeFor(key cacheKey, w workload.Workload, seed int64, lay *Layout) *Tape {
 				}
 				close(entry.done)
 			}()
+			sp := obs.Span2("tape", key.key)
 			start := wallclock.Now()
 			t := Record(w.Streams(seed), *lay)
-			statBuildNs.Add(wallclock.Since(start).Nanoseconds())
+			sp.End()
+			buildNs := wallclock.Since(start).Nanoseconds()
+			statBuildNs.Add(buildNs)
 			statBuilds.Add(1)
-			cacheBytes.Add(int64(t.Bytes()))
+			obsBuildNs.Add(buildNs)
+			obsBuilds.Add(1)
+			obsBytes.SetMax(cacheBytes.Add(int64(t.Bytes())))
 			entry.tape = t
 		}()
 		return entry.tape

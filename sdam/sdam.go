@@ -31,6 +31,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/geom"
 	"repro/internal/hbm"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/system"
@@ -117,6 +118,29 @@ type TapeStats = tape.Stats
 
 // TapeCacheStats returns the current tape-cache counters.
 func TapeCacheStats() TapeStats { return tape.CacheStats() }
+
+// Observability (see internal/obs and docs/OBSERVABILITY.md). The
+// metrics layer is disabled by default and costs one atomic load per
+// instrumented site while off; cmd/sdamsim and cmd/sdambench surface
+// these through -metrics and -trace.
+
+// MetricsSnapshot is a point-in-time serialization of every registered
+// metric (schema obs.SnapshotSchema).
+type MetricsSnapshot = obs.Snapshot
+
+// EnableMetrics turns on the process-wide metric registry.
+func EnableMetrics() { obs.EnableMetrics() }
+
+// EnableTracing additionally retains every phase span for Chrome
+// trace_event export (WriteTrace); open the result in Perfetto.
+func EnableTracing() { obs.EnableTracing() }
+
+// Metrics returns the current process-wide metrics snapshot.
+func Metrics() MetricsSnapshot { return obs.Default.Snapshot() }
+
+// WriteTrace writes the retained phase spans as Chrome trace_event
+// JSON (https://ui.perfetto.dev opens it directly).
+func WriteTrace(w io.Writer) error { return obs.Default.WriteTrace(w) }
 
 // CoRun executes several workloads concurrently on one machine, each in
 // its own address space, sharing the memory system and (under SDAM) the
@@ -281,6 +305,7 @@ func RunExperiment(id string, quick bool) (*Report, error) {
 	if quick {
 		scale = experiments.Quick
 	}
+	defer obs.Span2("experiment", id).End()
 	return r.Run(scale)
 }
 
